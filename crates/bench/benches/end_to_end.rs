@@ -1,0 +1,39 @@
+//! End-to-end builder comparison at a small fixed instance — the
+//! cargo-bench counterpart of Fig. 5's default column (wall-clock of the
+//! actual Rust execution, complementing the simulated cluster time the
+//! figures harness reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wh_core::builders::{
+    HWTopk, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS,
+};
+use wh_data::Dataset;
+use wh_mapreduce::ClusterConfig;
+
+const K: usize = 30;
+
+fn dataset() -> Dataset {
+    Dataset::zipf(14, 1.1, 1 << 18, 16)
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("send_v", |b| b.iter(|| SendV::new().build(&ds, &cluster, K)));
+    g.bench_function("h_wtopk", |b| b.iter(|| HWTopk::new().build(&ds, &cluster, K)));
+    g.bench_function("improved_s", |b| {
+        b.iter(|| ImprovedS::new(1e-2, 7).build(&ds, &cluster, K))
+    });
+    g.bench_function("two_level_s", |b| {
+        b.iter(|| TwoLevelS::new(1e-2, 7).build(&ds, &cluster, K))
+    });
+    g.bench_function("send_sketch", |b| {
+        b.iter(|| SendSketch::new(7).build(&ds, &cluster, K))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_builders);
+criterion_main!(benches);

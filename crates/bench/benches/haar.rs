@@ -1,0 +1,64 @@
+//! Dense vs sparse Haar transform — the ablation behind Appendix A's
+//! choice of the `O(|v_j| log u)` mapper-side algorithm over the `O(u)`
+//! dense pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wh_wavelet::{haar, sparse, Domain};
+
+fn dense_signal(log_u: u32) -> Vec<f64> {
+    let u = 1usize << log_u;
+    (0..u).map(|i| ((i * 2654435761) % 1000) as f64).collect()
+}
+
+fn sparse_entries(log_u: u32, nonzero: usize) -> Vec<(u64, f64)> {
+    let u = 1u64 << log_u;
+    (0..nonzero as u64).map(|i| ((i * 2654435761) % u, (i % 100) as f64 + 1.0)).collect()
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("haar_dense");
+    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    for log_u in [12u32, 16, 20] {
+        let v = dense_signal(log_u);
+        g.throughput(Throughput::Elements(v.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(log_u), &v, |b, v| {
+            b.iter(|| {
+                let mut w = v.clone();
+                haar::forward_in_place(&mut w);
+                w
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("haar_sparse");
+    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    // Fixed 4k non-zero keys; domain grows — sparse cost grows as log u,
+    // dense cost as u.
+    for log_u in [12u32, 16, 20, 24] {
+        let entries = sparse_entries(log_u, 4096);
+        let domain = Domain::new(log_u).expect("valid domain");
+        g.throughput(Throughput::Elements(entries.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(log_u), &entries, |b, e| {
+            b.iter(|| sparse::sparse_transform(domain, e.iter().copied()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let v = dense_signal(16);
+    let w = haar::forward(&v);
+    c.bench_function("haar_inverse_2e16", |b| {
+        b.iter(|| {
+            let mut x = w.clone();
+            haar::inverse_in_place(&mut x);
+            x
+        })
+    });
+}
+
+criterion_group!(benches, bench_dense, bench_sparse, bench_inverse);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Per-split cost of the three sampling emitters and the first-level
+//! random record reader.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wh_data::{Dataset, SplitMix64};
+use wh_sampling::{basic, improved, two_level, SamplingConfig};
+use wh_wavelet::hash::FxHashMap;
+
+fn counts(distinct: u64, heavy: u64) -> FxHashMap<u64, u64> {
+    let mut m = FxHashMap::default();
+    for k in 0..distinct {
+        m.insert(k, 1 + (k < heavy) as u64 * 50);
+    }
+    m
+}
+
+fn bench_emitters(c: &mut Criterion) {
+    let cfg = SamplingConfig::new(5e-3, 64, 1 << 22);
+    let cs = counts(20_000, 200);
+    let t_j = cs.values().sum::<u64>();
+    let mut g = c.benchmark_group("sampler_emit");
+    g.throughput(Throughput::Elements(cs.len() as u64));
+    g.bench_function("basic_combined", |b| b.iter(|| basic::emit_combined(&cs)));
+    g.bench_function("improved", |b| b.iter(|| improved::emit(&cs, cfg.epsilon, t_j)));
+    g.bench_function("two_level", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(9);
+            two_level::emit(&cs, &cfg, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+fn bench_first_level(c: &mut Criterion) {
+    let ds = Dataset::zipf(18, 1.1, 1 << 20, 16);
+    let mut g = c.benchmark_group("first_level_sample");
+    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    for frac in [100u64, 20, 5] {
+        let nj = ds.split_meta(0).records;
+        let count = nj / frac;
+        g.throughput(Throughput::Elements(count));
+        g.bench_with_input(BenchmarkId::from_parameter(frac), &count, |b, &count| {
+            b.iter(|| ds.sample_split(0, count, 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let ds = Dataset::zipf(18, 1.1, 1 << 20, 16);
+    let nj = ds.split_meta(0).records;
+    let mut g = c.benchmark_group("split_scan");
+    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    g.throughput(Throughput::Elements(nj));
+    g.bench_function("scan_one_split", |b| {
+        b.iter(|| ds.scan_split(0).map(|r| r.key).sum::<u64>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emitters, bench_first_level, bench_full_scan);
+criterion_main!(benches);

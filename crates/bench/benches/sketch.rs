@@ -1,0 +1,80 @@
+//! GCS branching-factor ablation (the paper's GCS-8 choice) and AMS
+//! comparison: per-key update cost vs top-k query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wh_sketch::{AmsWaveletSketch, GcsParams, GroupCountSketch};
+use wh_wavelet::Domain;
+
+const LOG_U: u32 = 18;
+
+fn keys(n: usize) -> Vec<u64> {
+    let u = 1u64 << LOG_U;
+    (0..n as u64).map(|i| (i * 2654435761) % u).collect()
+}
+
+fn bench_gcs_update(c: &mut Criterion) {
+    let domain = Domain::new(LOG_U).expect("valid domain");
+    let ks = keys(2000);
+    let mut g = c.benchmark_group("gcs_update_per_branching");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.throughput(Throughput::Elements(ks.len() as u64));
+    for branching in [2usize, 4, 8, 16] {
+        let params = GcsParams::with_budget(domain, branching, 20 * 1024 * LOG_U as usize, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(branching), &params, |b, p| {
+            b.iter(|| {
+                let mut sk = GroupCountSketch::new(domain, *p);
+                for &k in &ks {
+                    sk.update_key(k, 1.0);
+                }
+                sk
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gcs_query(c: &mut Criterion) {
+    let domain = Domain::new(LOG_U).expect("valid domain");
+    let mut g = c.benchmark_group("gcs_topk_per_branching");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    for branching in [2usize, 4, 8, 16] {
+        let params = GcsParams::with_budget(domain, branching, 20 * 1024 * LOG_U as usize, 7);
+        let mut sk = GroupCountSketch::new(domain, params);
+        for &k in &keys(5000) {
+            sk.update_key(k, 1.0);
+        }
+        sk.update_key(12345, 10_000.0);
+        g.bench_with_input(BenchmarkId::from_parameter(branching), &sk, |b, sk| {
+            b.iter(|| sk.topk(30, 2000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ams(c: &mut Criterion) {
+    let domain = Domain::new(LOG_U).expect("valid domain");
+    let ks = keys(2000);
+    let mut g = c.benchmark_group("ams");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.bench_function("ams_update_2000_keys", |b| {
+        b.iter(|| {
+            let mut sk = AmsWaveletSketch::new(domain, 5, 2048, 3);
+            for &k in &ks {
+                sk.update_key(k, 1.0);
+            }
+            sk
+        })
+    });
+    // The exhaustive AMS query is the reason GCS exists; measure it at a
+    // smaller domain so the bench finishes promptly.
+    let small = Domain::new(14).expect("valid domain");
+    let mut sk = AmsWaveletSketch::new(small, 5, 2048, 3);
+    for &k in &keys(2000) {
+        sk.update_key(k & ((1 << 14) - 1), 1.0);
+    }
+    g.bench_function("ams_exhaustive_topk_2e14", |b| b.iter(|| sk.topk_exhaustive(30)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_gcs_update, bench_gcs_query, bench_ams);
+criterion_main!(benches);

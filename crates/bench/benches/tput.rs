@@ -1,0 +1,71 @@
+//! Two-sided TPUT vs classic TPUT vs brute-force aggregation on synthetic
+//! coefficient-like score distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wh_topk::exact::topk_by_magnitude;
+use wh_topk::tput::tput_topk;
+use wh_topk::two_sided::two_sided_topk;
+use wh_topk::InMemoryNode;
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// Coefficient-like nodes: few heavy items, many light ones, both signs.
+fn signed_nodes(m: usize, items: u64) -> Vec<InMemoryNode> {
+    let mut s = 7u64;
+    (0..m)
+        .map(|_| {
+            let pairs: Vec<(u64, f64)> = (0..items)
+                .map(|i| {
+                    let r = lcg(&mut s);
+                    let mag = if i < 16 { 1e5 } else { 3.0 };
+                    (i, ((r % 1000) as f64 / 1000.0 - 0.5) * mag)
+                })
+                .collect();
+            InMemoryNode::new(pairs)
+        })
+        .collect()
+}
+
+fn nonneg_nodes(m: usize, items: u64) -> Vec<InMemoryNode> {
+    let mut s = 11u64;
+    (0..m)
+        .map(|_| {
+            let pairs: Vec<(u64, f64)> = (0..items)
+                .map(|i| {
+                    let r = lcg(&mut s);
+                    let mag = if i < 16 { 1e5 } else { 3.0 };
+                    (i, (r % 1000) as f64 / 1000.0 * mag)
+                })
+                .collect();
+            InMemoryNode::new(pairs)
+        })
+        .collect()
+}
+
+fn bench_two_sided(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_sided_tput");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    for m in [8usize, 32, 128] {
+        let nodes = signed_nodes(m, 4000);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &nodes, |b, n| {
+            b.iter(|| two_sided_topk(n, 30))
+        });
+    }
+    g.finish();
+}
+
+fn bench_classic(c: &mut Criterion) {
+    let nodes = nonneg_nodes(32, 4000);
+    c.bench_function("classic_tput_m32", |b| b.iter(|| tput_topk(&nodes, 30)));
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let nodes = signed_nodes(32, 4000);
+    c.bench_function("brute_force_m32", |b| b.iter(|| topk_by_magnitude(&nodes, 30)));
+}
+
+criterion_group!(benches, bench_two_sided, bench_classic, bench_brute_force);
+criterion_main!(benches);

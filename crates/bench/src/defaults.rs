@@ -1,0 +1,131 @@
+//! Scaled experiment defaults.
+//!
+//! The paper runs on 10–400 GB datasets (n up to 54 billion, u = 2²⁹,
+//! m = 200 splits, ε = 10⁻⁴). This harness keeps every *ratio* that
+//! drives the algorithms' behaviour while shrinking absolute size:
+//!
+//! * sample fraction `1/(ε²n)`: paper ≈ 0.75% → here ≈ 0.95%;
+//! * splits `m = 64` (same order as 200; sweeps go up to 512);
+//! * domain `u = 2¹⁸` (dense ground truth for SSE stays cheap);
+//! * `k = 30`, α = 1.1, bandwidth 50% — identical to the paper.
+
+use wh_data::{Dataset, DatasetBuilder, Distribution};
+use wh_mapreduce::ClusterConfig;
+use wh_wavelet::Domain;
+
+/// The scaled default parameters (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Defaults {
+    /// Total records `n`.
+    pub n: u64,
+    /// `log₂ u`.
+    pub log_u: u32,
+    /// Number of splits `m`.
+    pub m: u32,
+    /// Histogram size `k`.
+    pub k: usize,
+    /// Sampling error parameter ε.
+    pub epsilon: f64,
+    /// Zipf skew α.
+    pub alpha: f64,
+    /// Stored record size in bytes.
+    pub record_bytes: u32,
+    /// Available bandwidth fraction `B`.
+    pub bandwidth: f64,
+    /// Dataset / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for Defaults {
+    fn default() -> Self {
+        Self {
+            n: 1 << 22,
+            log_u: 18,
+            m: 64,
+            k: 30,
+            epsilon: 5e-3,
+            alpha: 1.1,
+            record_bytes: 4,
+            bandwidth: 0.5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Defaults {
+    /// A much smaller configuration for smoke tests and `--quick` runs.
+    pub fn quick() -> Self {
+        Self {
+            n: 1 << 17,
+            log_u: 12,
+            m: 16,
+            epsilon: 2e-2,
+            k: 30,
+            alpha: 1.1,
+            record_bytes: 4,
+            bandwidth: 0.5,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The default Zipf dataset under these parameters.
+    pub fn dataset(&self) -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(self.log_u).expect("valid log_u"))
+            .distribution(Distribution::Zipf { alpha: self.alpha })
+            .records(self.n)
+            .splits(self.m)
+            .record_bytes(self.record_bytes)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// The WorldCup-like dataset (Figs. 17–19): 40-byte records, same n.
+    pub fn worldcup(&self) -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(self.log_u).expect("valid log_u"))
+            .distribution(Distribution::WorldCup)
+            .records(self.n)
+            .splits(self.m)
+            .record_bytes(wh_data::worldcup::WORLDCUP_RECORD_BYTES)
+            .seed(self.seed ^ 0x98)
+            .build()
+    }
+
+    /// The paper's cluster at this configuration's bandwidth fraction.
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut c = ClusterConfig::paper_cluster();
+        c.bandwidth_fraction = self.bandwidth;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratios_match_design() {
+        let d = Defaults::default();
+        let sample_fraction = 1.0 / (d.epsilon * d.epsilon) / d.n as f64;
+        assert!(
+            (0.005..0.02).contains(&sample_fraction),
+            "sample fraction {sample_fraction}"
+        );
+        assert_eq!(d.dataset().num_splits(), 64);
+        assert_eq!(d.cluster().bandwidth_fraction, 0.5);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Defaults::quick();
+        assert!(q.n < Defaults::default().n);
+        assert!(q.dataset().num_records() == q.n);
+    }
+
+    #[test]
+    fn worldcup_records_are_40_bytes() {
+        let d = Defaults::quick();
+        assert_eq!(d.worldcup().record_bytes(), 40);
+    }
+}

@@ -1,0 +1,20 @@
+//! # wh-bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation section (§5,
+//! Figs. 5–19) at a laptop-friendly scale. Each experiment sweeps one
+//! parameter with the others at the scaled defaults of
+//! [`defaults::Defaults`], runs the relevant algorithms, and reports the
+//! same series the paper plots: communication bytes, simulated running
+//! time on the paper's cluster, and SSE.
+//!
+//! Run `cargo run -p wh-bench --release --bin figures -- all` to
+//! regenerate everything into `results/*.csv`, or pass a figure id
+//! (`fig5`, `fig6`, …). EXPERIMENTS.md records the scaling and the
+//! paper-vs-measured comparison per figure.
+
+pub mod defaults;
+pub mod table;
+pub mod figures;
+
+pub use defaults::Defaults;
+pub use table::Row;

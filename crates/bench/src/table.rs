@@ -1,0 +1,120 @@
+//! Result rows, console tables and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One measured point of one series of one figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Figure id, e.g. `fig5-comm`.
+    pub figure: String,
+    /// Series (algorithm) name, e.g. `TwoLevel-S`.
+    pub series: String,
+    /// Swept-parameter label (`k=30`, `eps=1e-3`, …).
+    pub x_label: String,
+    /// Swept-parameter numeric value.
+    pub x: f64,
+    /// Communication in bytes (0 when not applicable).
+    pub comm_bytes: u64,
+    /// Simulated running time in seconds.
+    pub time_s: f64,
+    /// SSE, when the figure measures quality.
+    pub sse: Option<f64>,
+}
+
+/// Renders rows as an aligned console table grouped by x.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>14} {:>16} {:>12} {:>14}",
+        "series", "x", "comm (bytes)", "time (s)", "SSE"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    for r in rows {
+        let sse = r.sse.map_or_else(|| "-".to_string(), |s| format!("{s:.3e}"));
+        let _ = writeln!(
+            out,
+            "{:<22} {:>14} {:>16} {:>12.1} {:>14}",
+            r.series,
+            r.x_label,
+            r.comm_bytes,
+            r.time_s,
+            sse
+        );
+    }
+    out
+}
+
+/// Writes rows as CSV to `dir/<figure>.csv` (one file per figure id).
+pub fn write_csv(dir: &Path, figure: &str, rows: &[Row]) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(dir.join(format!("{figure}.csv")))?;
+    writeln!(f, "figure,series,x_label,x,comm_bytes,time_s,sse")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            r.figure,
+            r.series,
+            r.x_label,
+            r.x,
+            r.comm_bytes,
+            r.time_s,
+            r.sse.map_or_else(String::new, |s| s.to_string())
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            Row {
+                figure: "figX".into(),
+                series: "Send-V".into(),
+                x_label: "k=10".into(),
+                x: 10.0,
+                comm_bytes: 12345,
+                time_s: 99.5,
+                sse: None,
+            },
+            Row {
+                figure: "figX".into(),
+                series: "TwoLevel-S".into(),
+                x_label: "k=10".into(),
+                x: 10.0,
+                comm_bytes: 77,
+                time_s: 1.25,
+                sse: Some(1.5e12),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_contains_all_series() {
+        let s = render(&sample_rows());
+        assert!(s.contains("Send-V"));
+        assert!(s.contains("TwoLevel-S"));
+        assert!(s.contains("1.500e12"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("wh-bench-test");
+        write_csv(&dir, "figX", &sample_rows()).unwrap();
+        let content = std::fs::read_to_string(dir.join("figX.csv")).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("figure,series"));
+        assert!(lines[2].contains("TwoLevel-S"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Basic-S: one-round random sampling (§4).
+//!
+//! First-level sample per split, keys aggregated by the Combine function
+//! into `(x, s_j(x))` pairs (set [`BasicS::combined`] to `false` for the
+//! naive `(x, 1)` emission — an ablation the paper mentions as "a simple
+//! optimization for executing any MapReduce job"). The reducer builds the
+//! scaled estimate `v̂ = s/p`, transforms it, and keeps the top-k.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::sample_common::first_level_counts;
+use super::{ops, BuildResult, HistogramBuilder};
+use crate::histogram::WaveletHistogram;
+use wh_data::Dataset;
+use wh_mapreduce::wire::{Sized as WSized, WKey};
+use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_sampling::SamplingConfig;
+use wh_wavelet::hash::FxHashMap;
+use wh_wavelet::select::top_k_magnitude;
+
+/// The Basic-S sampling builder.
+#[derive(Debug, Clone, Copy)]
+pub struct BasicS {
+    epsilon: f64,
+    seed: u64,
+    combined: bool,
+}
+
+impl BasicS {
+    /// Basic sampling with error parameter `ε` and a sampling seed.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        Self { epsilon, seed, combined: true }
+    }
+
+    /// Enables/disables the Combine aggregation (ablation).
+    pub fn combined(mut self, combined: bool) -> Self {
+        self.combined = combined;
+        self
+    }
+}
+
+impl HistogramBuilder for BasicS {
+    fn name(&self) -> &'static str {
+        "Basic-S"
+    }
+
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult {
+        let domain = dataset.domain();
+        let cfg = SamplingConfig::new(self.epsilon, dataset.num_splits(), dataset.num_records());
+        let key_bytes = dataset.key_bytes() as u8;
+        let combined = self.combined;
+        let seed = self.seed;
+
+        let map_tasks: Vec<MapTask<WKey, WSized<u64>>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                MapTask::new(j, move |ctx| {
+                    let (counts, _t_j) = first_level_counts(&ds, &cfg, j, seed, ctx);
+                    let mut keys: Vec<u64> = counts.keys().copied().collect();
+                    keys.sort_unstable();
+                    if combined {
+                        for x in keys {
+                            ctx.emit(WKey::new(x, key_bytes), WSized::new(counts[&x], 4));
+                        }
+                    } else {
+                        for x in keys {
+                            for _ in 0..counts[&x] {
+                                ctx.emit(WKey::new(x, key_bytes), WSized::new(1, 4));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let s: Arc<Mutex<FxHashMap<u64, u64>>> = Arc::new(Mutex::new(FxHashMap::default()));
+        let s_reduce = Arc::clone(&s);
+        let reduce = Box::new(
+            move |key: &WKey,
+                  vals: &[WSized<u64>],
+                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                s_reduce.lock().insert(key.id, vals.iter().map(|v| v.value).sum());
+            },
+        );
+        let s_finish = Arc::clone(&s);
+        let p = cfg.p();
+        let spec = JobSpec::new("basic-s", map_tasks, reduce).with_finish(move |ctx| {
+            let s = s_finish.lock();
+            let coefs = wh_wavelet::sparse::sparse_transform(
+                domain,
+                s.iter().map(|(&x, &c)| (x, c as f64 / p)),
+            );
+            ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
+            ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
+            for e in top_k_magnitude(coefs, k) {
+                ctx.emit((e.slot, e.value));
+            }
+        });
+
+        let out = run_job(cluster, spec);
+        let histogram = WaveletHistogram::new(domain, out.outputs);
+        BuildResult { histogram, metrics: out.metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    fn ds() -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(8).unwrap())
+            .records(40_000)
+            .splits(8)
+            .seed(21)
+            .build()
+    }
+
+    #[test]
+    fn sample_size_tracks_one_over_eps_squared() {
+        let eps = 0.02; // 1/ε² = 2500
+        let result = BasicS::new(eps, 1).build(&ds(), &ClusterConfig::paper_cluster(), 8);
+        let scanned = result.metrics.records_scanned;
+        assert!(
+            (1_800..3_200).contains(&scanned),
+            "scanned {scanned}, expected ≈ 2500"
+        );
+    }
+
+    #[test]
+    fn combined_emits_fewer_pairs_than_uncombined() {
+        let eps = 0.02;
+        let cluster = ClusterConfig::paper_cluster();
+        let with = BasicS::new(eps, 1).build(&ds(), &cluster, 8);
+        let without = BasicS::new(eps, 1).combined(false).build(&ds(), &cluster, 8);
+        assert!(with.metrics.map_output_pairs < without.metrics.map_output_pairs);
+        // Uncombined sends exactly the sample size.
+        assert_eq!(
+            without.metrics.map_output_pairs,
+            without.metrics.records_scanned
+        );
+    }
+
+    #[test]
+    fn estimates_total_mass_roughly() {
+        // The histogram's full-range sum estimates n.
+        let result = BasicS::new(0.02, 3).build(&ds(), &ClusterConfig::paper_cluster(), 64);
+        let total = result.histogram.range_sum(0, 255);
+        assert!(
+            (total - 40_000.0).abs() < 8_000.0,
+            "total estimate {total}, want ≈ 40000"
+        );
+    }
+}

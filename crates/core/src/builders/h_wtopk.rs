@@ -1,0 +1,333 @@
+//! H-WTopk: the paper's three-round exact algorithm (§3, Appendix A).
+//!
+//! Round 1 — each mapper scans its split, computes the local wavelet
+//! coefficients with the sparse `O(|v_j| log u)` transform, and emits its
+//! local top-k and bottom-k (marking the k-th highest/lowest values). All
+//! other local coefficients are written to per-split state (the HDFS state
+//! file of Appendix A — free of network cost). The reducer/coordinator
+//! forms partial sums `ŵ_i`, seen-bitvectors `F_i`, and threshold `T₁`.
+//!
+//! Round 2 — `T₁/m` is pushed through the Job Configuration; mappers read
+//! their state (no input scan!) and emit remaining coefficients with
+//! `|w_{i,j}| > T₁/m`. The coordinator refines bounds, derives `T₂`, and
+//! prunes to a candidate set `R`.
+//!
+//! Round 3 — `R` rides the Distributed Cache; mappers emit local scores of
+//! candidates never sent before. The coordinator finalises exact sums and
+//! picks the top-k by magnitude.
+//!
+//! The coordinator logic is `wh_topk::Coordinator` — the same state machine
+//! the in-memory driver uses — so protocol correctness is tested once,
+//! against brute force, in `wh-topk`.
+
+use std::sync::Arc;
+
+use super::{ops, BuildResult, HistogramBuilder};
+use crate::histogram::WaveletHistogram;
+use wh_data::Dataset;
+use wh_mapreduce::wire::{Sized as WSized, WKey};
+use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask, RunMetrics, StateStore};
+use wh_topk::Coordinator;
+use wh_wavelet::hash::{FxHashMap, FxHashSet};
+use wh_wavelet::select::TopBottomK;
+
+/// Round-1/2/3 message payload: `(flags, split, coefficient)`.
+/// Wire size 12 B — 4 B split id + 8 B double; the mark flags replace the
+/// paper's `j+m`/`j+2m` split-id encoding and ride in the same bytes.
+type Payload = WSized<(u8, u32, f64)>;
+
+const FLAG_KTH_HIGH: u8 = 1;
+const FLAG_KTH_LOW: u8 = 2;
+
+fn payload(flags: u8, split: u32, w: f64) -> Payload {
+    WSized::new((flags, split, w), 12)
+}
+
+/// Per-split state carried between rounds: local coefficients not yet sent.
+#[derive(Debug, Clone, Default)]
+struct SplitState {
+    remaining: Vec<(u64, f64)>,
+}
+
+/// The H-WTopk exact builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HWTopk;
+
+impl HWTopk {
+    /// Creates the builder.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl HistogramBuilder for HWTopk {
+    fn name(&self) -> &'static str {
+        "H-WTopk"
+    }
+
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult {
+        let domain = dataset.domain();
+        let m = dataset.num_splits() as usize;
+        let state = Arc::new(StateStore::new());
+        let mut metrics = RunMetrics::default();
+        let mut coordinator = Coordinator::new(m, k);
+
+        // ---------- Round 1 ----------
+        let map_tasks: Vec<MapTask<WKey, Payload>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                let state = Arc::clone(&state);
+                MapTask::new(j, move |ctx| {
+                    let meta = ds.split_meta(j);
+                    ctx.note_read(meta.records, meta.bytes);
+                    let mut local: FxHashMap<u64, u64> = FxHashMap::default();
+                    for r in ds.scan_split(j) {
+                        *local.entry(r.key).or_insert(0) += 1;
+                    }
+                    ctx.charge(meta.records as f64 * (ops::RECORD_SCAN + ops::HASH_UPSERT));
+                    let coefs = wh_wavelet::sparse::sparse_transform(
+                        domain,
+                        local.iter().map(|(&x, &c)| (x, c as f64)),
+                    );
+                    ctx.charge(
+                        local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE,
+                    );
+                    let mut tb = TopBottomK::new(k);
+                    for (&slot, &w) in &coefs {
+                        tb.offer(slot, w);
+                    }
+                    ctx.charge(coefs.len() as f64 * 2.0 * ops::HEAP_OFFER);
+                    let top = tb.top();
+                    let bottom = tb.bottom();
+                    let full = coefs.len() >= k;
+                    let kth_high_slot = if full { top.last().map(|e| e.slot) } else { None };
+                    let kth_low_slot = if full { bottom.last().map(|e| e.slot) } else { None };
+                    // Union of top and bottom sets, deduplicated.
+                    let mut sent: FxHashMap<u64, f64> = FxHashMap::default();
+                    for e in top.iter().chain(bottom.iter()) {
+                        sent.insert(e.slot, e.value);
+                    }
+                    let mut slots: Vec<u64> = sent.keys().copied().collect();
+                    slots.sort_unstable();
+                    for slot in slots {
+                        let mut flags = 0u8;
+                        if kth_high_slot == Some(slot) {
+                            flags |= FLAG_KTH_HIGH;
+                        }
+                        if kth_low_slot == Some(slot) {
+                            flags |= FLAG_KTH_LOW;
+                        }
+                        ctx.emit(WKey::four(slot), payload(flags, j, sent[&slot]));
+                    }
+                    // Persist un-sent coefficients for rounds 2–3.
+                    let mut remaining: Vec<(u64, f64)> = coefs
+                        .iter()
+                        .filter(|(slot, _)| !sent.contains_key(slot))
+                        .map(|(&s, &w)| (s, w))
+                        .collect();
+                    remaining.sort_unstable_by_key(|&(s, _)| s);
+                    state.save(j, SplitState { remaining });
+                })
+            })
+            .collect();
+        let reduce = Box::new(
+            |key: &WKey,
+             vals: &[Payload],
+             ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                for v in vals {
+                    let (flags, split, w) = v.value;
+                    ctx.emit((key.id, flags, split, w));
+                }
+            },
+        );
+        let out = run_job(cluster, JobSpec::new("h-wtopk-r1", map_tasks, reduce));
+        metrics.absorb(&out.metrics);
+
+        // Coordinator: group round-1 messages per node.
+        let mut per_node: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+        let mut kth_high: Vec<Option<f64>> = vec![None; m];
+        let mut kth_low: Vec<Option<f64>> = vec![None; m];
+        for (slot, flags, split, w) in out.outputs {
+            let j = split as usize;
+            per_node[j].push((slot, w));
+            if flags & FLAG_KTH_HIGH != 0 {
+                kth_high[j] = Some(w);
+            }
+            if flags & FLAG_KTH_LOW != 0 {
+                kth_low[j] = Some(w);
+            }
+        }
+        for (j, pairs) in per_node.iter().enumerate() {
+            coordinator.absorb_round1(j, pairs, &[], kth_high[j], kth_low[j]);
+        }
+        let t1 = coordinator.finish_round1();
+        let tau = t1 / m as f64;
+
+        // ---------- Round 2 ----------
+        let map_tasks: Vec<MapTask<WKey, Payload>> = (0..dataset.num_splits())
+            .map(|j| {
+                let state = Arc::clone(&state);
+                MapTask::new(j, move |ctx| {
+                    let mut st: SplitState = state.take(j).unwrap_or_default();
+                    ctx.charge(st.remaining.len() as f64);
+                    let (send, keep): (Vec<_>, Vec<_>) =
+                        st.remaining.into_iter().partition(|&(_, w)| w.abs() > tau);
+                    for &(slot, w) in &send {
+                        ctx.emit(WKey::four(slot), payload(0, j, w));
+                    }
+                    st.remaining = keep;
+                    state.save(j, st);
+                })
+            })
+            .collect();
+        let reduce = Box::new(
+            |key: &WKey,
+             vals: &[Payload],
+             ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                for v in vals {
+                    let (flags, split, w) = v.value;
+                    ctx.emit((key.id, flags, split, w));
+                }
+            },
+        );
+        // T₁/m rides the Job Configuration: one 8-byte double.
+        let out = run_job(
+            cluster,
+            JobSpec::new("h-wtopk-r2", map_tasks, reduce).with_broadcast(8),
+        );
+        metrics.absorb(&out.metrics);
+        let mut per_node: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+        for (slot, _flags, split, w) in out.outputs {
+            per_node[split as usize].push((slot, w));
+        }
+        for (j, pairs) in per_node.iter().enumerate() {
+            coordinator.absorb_round2(j, pairs);
+        }
+        let (_t2, candidates) = coordinator.finish_round2();
+
+        // ---------- Round 3 ----------
+        let candidate_set: Arc<FxHashSet<u64>> =
+            Arc::new(candidates.iter().copied().collect());
+        let map_tasks: Vec<MapTask<WKey, Payload>> = (0..dataset.num_splits())
+            .map(|j| {
+                let state = Arc::clone(&state);
+                let cands = Arc::clone(&candidate_set);
+                MapTask::new(j, move |ctx| {
+                    let st: SplitState = state.take(j).unwrap_or_default();
+                    ctx.charge(st.remaining.len() as f64);
+                    for &(slot, w) in &st.remaining {
+                        if cands.contains(&slot) {
+                            ctx.emit(WKey::four(slot), payload(0, j, w));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let reduce = Box::new(
+            |key: &WKey,
+             vals: &[Payload],
+             ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                for v in vals {
+                    let (flags, split, w) = v.value;
+                    ctx.emit((key.id, flags, split, w));
+                }
+            },
+        );
+        // R rides the Distributed Cache: 4 bytes per candidate id.
+        let out = run_job(
+            cluster,
+            JobSpec::new("h-wtopk-r3", map_tasks, reduce)
+                .with_broadcast(4 * candidates.len() as u64),
+        );
+        metrics.absorb(&out.metrics);
+        let mut per_node: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+        for (slot, _flags, split, w) in out.outputs {
+            per_node[split as usize].push((slot, w));
+        }
+        for (j, pairs) in per_node.iter().enumerate() {
+            coordinator.absorb_round3(j, pairs);
+        }
+
+        let topk = coordinator.finish();
+        let histogram = WaveletHistogram::new(domain, topk);
+        BuildResult { histogram, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::Centralized;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    fn build_both(log_u: u32, n: u64, m: u32, k: usize) -> (BuildResult, BuildResult) {
+        let ds = DatasetBuilder::new()
+            .domain(Domain::new(log_u).unwrap())
+            .records(n)
+            .splits(m)
+            .seed(0xbeef)
+            .build();
+        let cluster = ClusterConfig::paper_cluster();
+        (
+            HWTopk::new().build(&ds, &cluster, k),
+            Centralized::new().build(&ds, &cluster, k),
+        )
+    }
+
+    #[test]
+    fn exact_on_various_shapes() {
+        for (log_u, n, m, k) in [(6u32, 3_000u64, 4u32, 5usize), (10, 8_000, 7, 12), (8, 2_000, 16, 3)] {
+            let (hw, oracle) = build_both(log_u, n, m, k);
+            assert_eq!(
+                hw.histogram.coefficients().len(),
+                oracle.histogram.coefficients().len(),
+                "({log_u},{n},{m},{k})"
+            );
+            for (a, b) in hw
+                .histogram
+                .coefficients()
+                .iter()
+                .zip(oracle.histogram.coefficients())
+            {
+                assert_eq!(a.0, b.0, "slot mismatch ({log_u},{n},{m},{k})");
+                assert!((a.1 - b.1).abs() < 1e-6, "value mismatch at slot {}", a.0);
+            }
+        }
+    }
+
+    #[test]
+    fn three_rounds_with_broadcast() {
+        let (hw, _) = build_both(8, 4_000, 6, 8);
+        assert_eq!(hw.metrics.rounds, 3);
+        // Round 2 broadcasts T1/m (8 bytes) and round 3 the candidate ids.
+        assert!(hw.metrics.broadcast_bytes >= 8);
+    }
+
+    fn assert_same_histogram(a: &crate::histogram::WaveletHistogram, b: &crate::histogram::WaveletHistogram) {
+        // Distributed sums differ from the centralized transform by float
+        // associativity only.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert_eq!(x.0, y.0, "slot mismatch");
+            assert!((x.1 - y.1).abs() < 1e-6 * (1.0 + y.1.abs()), "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn k_one() {
+        let (hw, oracle) = build_both(7, 2_000, 3, 1);
+        assert_same_histogram(&hw.histogram, &oracle.histogram);
+    }
+
+    #[test]
+    fn more_splits_than_distinct_coefficients() {
+        // Tiny domain spread over many splits exercises nodes with fewer
+        // than k local coefficients.
+        let (hw, oracle) = build_both(3, 1_000, 10, 6);
+        assert_same_histogram(&hw.histogram, &oracle.histogram);
+    }
+}

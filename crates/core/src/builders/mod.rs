@@ -1,0 +1,180 @@
+//! The seven histogram builders of the paper, plus the centralized oracle.
+//!
+//! Every builder consumes a [`Dataset`] and a [`ClusterConfig`] and returns
+//! a [`BuildResult`]: the k-term [`WaveletHistogram`] plus the exact
+//! [`RunMetrics`] of the MapReduce execution that produced it. Exact
+//! builders ([`SendV`], [`SendCoef`], [`HWTopk`], [`Centralized`]) all
+//! return the *same* histogram for the same dataset; the approximations
+//! trade quality for communication and scan cost.
+
+mod centralized;
+mod send_v;
+mod send_coef;
+mod h_wtopk;
+mod sample_common;
+mod basic_s;
+mod improved_s;
+mod two_level_s;
+mod send_sketch;
+mod send_sketch_ams;
+
+pub use basic_s::BasicS;
+pub use centralized::Centralized;
+pub use h_wtopk::HWTopk;
+pub use improved_s::ImprovedS;
+pub use send_coef::SendCoef;
+pub use send_sketch::SendSketch;
+pub use send_sketch_ams::SendSketchAms;
+pub use send_v::SendV;
+pub use two_level_s::TwoLevelS;
+
+use crate::histogram::WaveletHistogram;
+use wh_data::Dataset;
+use wh_mapreduce::{ClusterConfig, RunMetrics};
+
+/// Output of one histogram construction.
+#[derive(Debug, Clone)]
+pub struct BuildResult {
+    /// The constructed k-term histogram.
+    pub histogram: WaveletHistogram,
+    /// Exact measurements of the construction.
+    pub metrics: RunMetrics,
+}
+
+/// A wavelet-histogram construction algorithm.
+pub trait HistogramBuilder {
+    /// Short name used in experiment tables (matches the paper:
+    /// "Send-V", "H-WTopk", "TwoLevel-S", …).
+    fn name(&self) -> &'static str;
+
+    /// Builds the best-k-term histogram of `dataset` on `cluster`.
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult;
+}
+
+/// Cost-model constants shared by the builders: abstract CPU ops charged
+/// per unit of algorithmic work. Centralised here so ablations can reason
+/// about them.
+pub mod ops {
+    /// Reading + parsing one record in a scan.
+    pub const RECORD_SCAN: f64 = 1.0;
+    /// One hash-map upsert while building a local frequency vector.
+    pub const HASH_UPSERT: f64 = 2.0;
+    /// One wavelet coefficient update in the sparse transform.
+    pub const COEF_UPDATE: f64 = 2.0;
+    /// One priority-queue offer.
+    pub const HEAP_OFFER: f64 = 3.0;
+    /// One sketch row-update (GCS/AMS inner loop).
+    pub const SKETCH_ROW_UPDATE: f64 = 4.0;
+    /// Reducer-side work per received pair.
+    pub const REDUCE_PAIR: f64 = 2.0;
+    /// Random-access sampling of one record (seek + read + hash).
+    pub const SAMPLE_RECORD: f64 = 6.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    fn tiny_dataset() -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(8).unwrap())
+            .records(20_000)
+            .splits(8)
+            .seed(7)
+            .build()
+    }
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::paper_cluster()
+    }
+
+    #[test]
+    fn exact_builders_agree_up_to_float_associativity() {
+        let ds = tiny_dataset();
+        let k = 12;
+        let reference = Centralized::new().build(&ds, &cluster(), k);
+        for b in [
+            Box::new(SendV::new()) as Box<dyn HistogramBuilder>,
+            Box::new(SendCoef::new()),
+            Box::new(HWTopk::new()),
+        ] {
+            let got = b.build(&ds, &cluster(), k);
+            assert_eq!(got.histogram.len(), reference.histogram.len(), "{}", b.name());
+            for (x, y) in got
+                .histogram
+                .coefficients()
+                .iter()
+                .zip(reference.histogram.coefficients())
+            {
+                assert_eq!(x.0, y.0, "{}: slot mismatch", b.name());
+                assert!(
+                    (x.1 - y.1).abs() < 1e-6 * (1.0 + y.1.abs()),
+                    "{}: {x:?} vs {y:?}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hwtopk_communicates_less_than_send_v() {
+        let ds = tiny_dataset();
+        let sv = SendV::new().build(&ds, &cluster(), 10);
+        let hw = HWTopk::new().build(&ds, &cluster(), 10);
+        assert!(
+            hw.metrics.total_comm_bytes() < sv.metrics.total_comm_bytes(),
+            "H-WTopk {} vs Send-V {}",
+            hw.metrics.total_comm_bytes(),
+            sv.metrics.total_comm_bytes()
+        );
+        assert_eq!(hw.metrics.rounds, 3);
+        assert_eq!(sv.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn sampling_builders_scan_less_than_exact() {
+        let ds = tiny_dataset();
+        let eps = 0.02; // sample ≈ 2500 of 20000
+        let sv = SendV::new().build(&ds, &cluster(), 10);
+        for b in [
+            Box::new(BasicS::new(eps, 1)) as Box<dyn HistogramBuilder>,
+            Box::new(ImprovedS::new(eps, 1)),
+            Box::new(TwoLevelS::new(eps, 1)),
+        ] {
+            let got = b.build(&ds, &cluster(), 10);
+            assert!(
+                got.metrics.records_scanned < sv.metrics.records_scanned / 2,
+                "{} scanned {} records",
+                b.name(),
+                got.metrics.records_scanned
+            );
+            assert!(!got.histogram.is_empty());
+        }
+    }
+
+    #[test]
+    fn two_level_beats_basic_communication() {
+        let ds = tiny_dataset();
+        let eps = 0.02;
+        let basic = BasicS::new(eps, 1).build(&ds, &cluster(), 10);
+        let two = TwoLevelS::new(eps, 1).build(&ds, &cluster(), 10);
+        assert!(
+            two.metrics.shuffle_bytes <= basic.metrics.shuffle_bytes,
+            "TwoLevel {} vs Basic {}",
+            two.metrics.shuffle_bytes,
+            basic.metrics.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn send_sketch_produces_reasonable_histogram() {
+        let ds = tiny_dataset();
+        let got = SendSketch::new(3).build(&ds, &cluster(), 8);
+        assert!(!got.histogram.is_empty());
+        assert_eq!(got.metrics.rounds, 1);
+        // Sketch scans everything.
+        assert_eq!(got.metrics.records_scanned, 20_000);
+    }
+}

@@ -1,0 +1,131 @@
+//! Send-Coef: the second exact baseline (§3) — ship local wavelet
+//! coefficients instead of local frequency vectors.
+//!
+//! Because the transform is linear, `w_i = Σ_j w_{i,j}`; each mapper
+//! transforms its split and emits every non-zero local coefficient. The
+//! paper's Fig. 12 shows why this loses to Send-V: each key touches
+//! `log u + 1` coefficients, so the number of non-zero local coefficients
+//! is almost always much larger than the number of distinct keys.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::{ops, BuildResult, HistogramBuilder};
+use crate::histogram::WaveletHistogram;
+use wh_data::Dataset;
+use wh_mapreduce::wire::WKey;
+use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_wavelet::hash::FxHashMap;
+use wh_wavelet::select::top_k_magnitude;
+
+/// The Send-Coef baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendCoef;
+
+impl SendCoef {
+    /// Creates the builder.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl HistogramBuilder for SendCoef {
+    fn name(&self) -> &'static str {
+        "Send-Coef"
+    }
+
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult {
+        let domain = dataset.domain();
+        // Coefficient indices ride in 4-byte keys (domain ≤ 2^32 in the
+        // experiments); values are 8-byte doubles (§5 setup).
+        let map_tasks: Vec<MapTask<WKey, f64>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                MapTask::new(j, move |ctx| {
+                    let meta = ds.split_meta(j);
+                    ctx.note_read(meta.records, meta.bytes);
+                    let mut local: FxHashMap<u64, u64> = FxHashMap::default();
+                    for r in ds.scan_split(j) {
+                        *local.entry(r.key).or_insert(0) += 1;
+                    }
+                    ctx.charge(meta.records as f64 * (ops::RECORD_SCAN + ops::HASH_UPSERT));
+                    let coefs = wh_wavelet::sparse::sparse_transform(
+                        domain,
+                        local.iter().map(|(&x, &c)| (x, c as f64)),
+                    );
+                    ctx.charge(
+                        local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE,
+                    );
+                    let mut slots: Vec<u64> = coefs.keys().copied().collect();
+                    slots.sort_unstable();
+                    for slot in slots {
+                        ctx.emit(WKey::four(slot), coefs[&slot]);
+                    }
+                })
+            })
+            .collect();
+
+        let acc: Arc<Mutex<FxHashMap<u64, f64>>> = Arc::new(Mutex::new(FxHashMap::default()));
+        let acc_reduce = Arc::clone(&acc);
+        let reduce = Box::new(
+            move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                acc_reduce.lock().insert(key.id, vals.iter().sum());
+            },
+        );
+        let acc_finish = Arc::clone(&acc);
+        let spec = JobSpec::new("send-coef", map_tasks, reduce).with_finish(move |ctx| {
+            let w = acc_finish.lock();
+            ctx.charge(w.len() as f64 * ops::HEAP_OFFER);
+            for e in top_k_magnitude(w.iter().map(|(&s, &c)| (s, c)), k) {
+                ctx.emit((e.slot, e.value));
+            }
+        });
+
+        let out = run_job(cluster, spec);
+        let histogram = WaveletHistogram::new(domain, out.outputs);
+        BuildResult { histogram, metrics: out.metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    #[test]
+    fn coefficient_pairs_cost_twelve_bytes() {
+        let ds = DatasetBuilder::new()
+            .domain(Domain::new(6).unwrap())
+            .records(2_000)
+            .splits(3)
+            .build();
+        let result = SendCoef::new().build(&ds, &ClusterConfig::paper_cluster(), 6);
+        assert_eq!(
+            result.metrics.shuffle_bytes,
+            result.metrics.map_output_pairs * 12
+        );
+    }
+
+    #[test]
+    fn emits_more_pairs_than_send_v_on_large_domains() {
+        // The paper's Fig. 12 effect: local coefficient count exceeds
+        // distinct-key count once u is large relative to split size.
+        let ds = DatasetBuilder::new()
+            .domain(Domain::new(14).unwrap())
+            .records(4_000)
+            .splits(4)
+            .build();
+        let cluster = ClusterConfig::paper_cluster();
+        let coef = SendCoef::new().build(&ds, &cluster, 6);
+        let sv = super::super::SendV::new().build(&ds, &cluster, 6);
+        assert!(
+            coef.metrics.map_output_pairs > sv.metrics.map_output_pairs,
+            "coef pairs {} vs v pairs {}",
+            coef.metrics.map_output_pairs,
+            sv.metrics.map_output_pairs
+        );
+    }
+}

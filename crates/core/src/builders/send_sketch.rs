@@ -1,0 +1,176 @@
+//! Send-Sketch: the GCS sketching baseline (§4, choice (ii)).
+//!
+//! Each mapper builds the local frequency vector first and then feeds each
+//! *distinct* key into the Group-Count Sketch once (the paper's first
+//! optimisation), emits the non-zero sketch counters (the second
+//! optimisation), and the reducer merges the `m` sketches — they are
+//! linear — and extracts the top-k by hierarchical descent. This resolves
+//! the multi-round and communication issues of the exact methods but still
+//! scans every record, and its per-key update cost
+//! (`(log u + 1) · levels · rows` row-updates) is why the paper measures
+//! it as the slowest method by far.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::{ops, BuildResult, HistogramBuilder};
+use crate::histogram::WaveletHistogram;
+use wh_data::Dataset;
+use wh_mapreduce::wire::WKey;
+use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_sketch::{GcsParams, GroupCountSketch};
+use wh_wavelet::hash::FxHashMap;
+
+/// The Send-Sketch builder (GCS).
+#[derive(Debug, Clone, Copy)]
+pub struct SendSketch {
+    seed: u64,
+    /// Override for the sketch parameters; `None` = paper default
+    /// (GCS-8 at 20 KB·log₂u).
+    params: Option<GcsParams>,
+}
+
+impl SendSketch {
+    /// GCS Send-Sketch with the paper's default sizing.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, params: None }
+    }
+
+    /// Overrides the sketch parameters (branching-factor ablations).
+    pub fn with_params(mut self, params: GcsParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    fn params_for(&self, dataset: &Dataset) -> GcsParams {
+        self.params
+            .unwrap_or_else(|| GcsParams::paper_default(dataset.domain(), self.seed))
+    }
+}
+
+impl HistogramBuilder for SendSketch {
+    fn name(&self) -> &'static str {
+        "Send-Sketch"
+    }
+
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult {
+        let domain = dataset.domain();
+        let params = self.params_for(dataset);
+
+        let map_tasks: Vec<MapTask<WKey, f64>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                MapTask::new(j, move |ctx| {
+                    let meta = ds.split_meta(j);
+                    ctx.note_read(meta.records, meta.bytes);
+                    let mut local: FxHashMap<u64, u64> = FxHashMap::default();
+                    for r in ds.scan_split(j) {
+                        *local.entry(r.key).or_insert(0) += 1;
+                    }
+                    ctx.charge(meta.records as f64 * (ops::RECORD_SCAN + ops::HASH_UPSERT));
+                    let mut sketch = GroupCountSketch::new(domain, params);
+                    let mut row_updates = 0u64;
+                    for (&x, &c) in &local {
+                        row_updates += sketch.update_key(x, c as f64);
+                    }
+                    ctx.charge(row_updates as f64 * ops::SKETCH_ROW_UPDATE);
+                    // Emit only the non-zero counters (sketch entries are
+                    // 8-byte doubles keyed by a 4-byte counter index).
+                    for (idx, v) in sketch.counter_entries() {
+                        ctx.emit(WKey::four(idx), v);
+                    }
+                })
+            })
+            .collect();
+
+        let merged: Arc<Mutex<GroupCountSketch>> =
+            Arc::new(Mutex::new(GroupCountSketch::new(domain, params)));
+        let merged_reduce = Arc::clone(&merged);
+        let reduce = Box::new(
+            move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                merged_reduce.lock().add_counter(key.id, vals.iter().sum());
+            },
+        );
+        let merged_finish = Arc::clone(&merged);
+        let spec = JobSpec::new("send-sketch", map_tasks, reduce).with_finish(move |ctx| {
+            let sketch = merged_finish.lock();
+            let budget = 8 * k.max(1) * domain.log_u().max(1) as usize;
+            let top = sketch.topk(k, budget);
+            // Best-first descent: each expansion probes `branching` child
+            // groups over `rows` rows of `subbuckets` counters.
+            ctx.charge(
+                budget as f64
+                    * params.branching as f64
+                    * params.rows as f64
+                    * params.subbuckets as f64,
+            );
+            for e in top {
+                ctx.emit((e.slot, e.value));
+            }
+        });
+
+        let out = run_job(cluster, spec);
+        let histogram = WaveletHistogram::new(domain, out.outputs);
+        BuildResult { histogram, metrics: out.metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::Centralized;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    fn ds() -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(10).unwrap())
+            .records(30_000)
+            .splits(6)
+            .seed(99)
+            .build()
+    }
+
+    #[test]
+    fn finds_most_of_the_true_topk() {
+        let cluster = ClusterConfig::paper_cluster();
+        let k = 10;
+        let exact = Centralized::new().build(&ds(), &cluster, k);
+        let sketch = SendSketch::new(4).build(&ds(), &cluster, k);
+        let truth: std::collections::BTreeSet<u64> =
+            exact.histogram.coefficients().iter().map(|&(s, _)| s).collect();
+        let found = sketch
+            .histogram
+            .coefficients()
+            .iter()
+            .filter(|&&(s, _)| truth.contains(&s))
+            .count();
+        assert!(found >= k / 2, "only {found}/{k} true coefficients recovered");
+    }
+
+    #[test]
+    fn sketch_cpu_cost_dominates() {
+        // The paper's observation: Send-Sketch burns far more CPU than
+        // Send-V on the same scan.
+        let cluster = ClusterConfig::paper_cluster();
+        let sv = super::super::SendV::new().build(&ds(), &cluster, 10);
+        let sk = SendSketch::new(4).build(&ds(), &cluster, 10);
+        assert!(
+            sk.metrics.cpu_ops > 5.0 * sv.metrics.cpu_ops,
+            "sketch {} ops vs send-v {} ops",
+            sk.metrics.cpu_ops,
+            sv.metrics.cpu_ops
+        );
+    }
+
+    #[test]
+    fn custom_params_respected() {
+        let params = GcsParams { branching: 4, rows: 3, buckets: 64, subbuckets: 8, seed: 5 };
+        let r = SendSketch::new(5)
+            .with_params(params)
+            .build(&ds(), &ClusterConfig::paper_cluster(), 5);
+        assert!(!r.histogram.is_empty());
+    }
+}

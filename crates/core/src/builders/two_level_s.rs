@@ -1,0 +1,201 @@
+//! TwoLevel-S: the paper's main contribution on the approximation side
+//! (§4, Figs. 3–4, Appendix B).
+//!
+//! First-level sample per split, then second-level frequency-proportional
+//! sampling of the local counts: heavy keys (`s_j(x) ≥ 1/(ε√m)`) ship
+//! exactly, light keys ship as bare `(x, NULL)` markers with probability
+//! `ε√m·s_j(x)`. The reducer forms the unbiased estimator
+//! `ŝ(x) = ρ(x) + M/(ε√m)` (Theorem 1), scales by `1/p`, transforms, and
+//! keeps the top-k. Expected communication is `O(√m/ε)` (Theorem 3).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::sample_common::first_level_counts;
+use super::{ops, BuildResult, HistogramBuilder};
+use crate::histogram::WaveletHistogram;
+use wh_data::{Dataset, SplitMix64};
+use wh_mapreduce::wire::WKey;
+use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask, WireSize};
+use wh_sampling::{SamplingConfig, TwoLevelAccumulator, TwoLevelPair};
+use wh_wavelet::hash::FxHashMap;
+use wh_wavelet::select::top_k_magnitude;
+
+/// Wire wrapper for [`TwoLevelPair`]: an exact count costs 4 bytes, a bare
+/// marker costs nothing beyond its key — matching the paper's accounting
+/// where the `√m/ε` marker keys dominate communication at ~4 B each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlValue(TwoLevelPair);
+
+impl WireSize for TlValue {
+    fn wire_bytes(&self) -> u64 {
+        match self.0 {
+            TwoLevelPair::Count(_) => 4,
+            TwoLevelPair::Marker => 0,
+        }
+    }
+}
+
+/// The TwoLevel-S sampling builder.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLevelS {
+    epsilon: f64,
+    seed: u64,
+    threshold_exponent: f64,
+}
+
+impl TwoLevelS {
+    /// Two-level sampling with error parameter `ε` and a sampling seed.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        Self { epsilon, seed, threshold_exponent: 0.5 }
+    }
+
+    /// Overrides the second-level threshold exponent γ (default ½ — the
+    /// paper's `1/(ε√m)`). Exposed for the DESIGN.md ablation showing the
+    /// √m choice is the communication sweet spot.
+    pub fn with_threshold_exponent(mut self, gamma: f64) -> Self {
+        self.threshold_exponent = gamma;
+        self
+    }
+
+    /// The effective sampling configuration for `dataset`.
+    pub fn config_for(&self, dataset: &Dataset) -> SamplingConfig {
+        SamplingConfig::new(self.epsilon, dataset.num_splits(), dataset.num_records())
+            .with_threshold_exponent(self.threshold_exponent)
+    }
+}
+
+impl HistogramBuilder for TwoLevelS {
+    fn name(&self) -> &'static str {
+        "TwoLevel-S"
+    }
+
+    fn build(&self, dataset: &Dataset, cluster: &ClusterConfig, k: usize) -> BuildResult {
+        let domain = dataset.domain();
+        let cfg = self.config_for(dataset);
+        let key_bytes = dataset.key_bytes() as u8;
+        let seed = self.seed;
+
+        let map_tasks: Vec<MapTask<WKey, TlValue>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                MapTask::new(j, move |ctx| {
+                    let (counts, _t_j) = first_level_counts(&ds, &cfg, j, seed, ctx);
+                    // Independent second-level draws per split.
+                    let mut rng = SplitMix64::new(seed ^ 0x2e2e ^ (u64::from(j) << 32));
+                    ctx.charge(counts.len() as f64);
+                    for (x, pair) in wh_sampling::two_level::emit(&counts, &cfg, &mut rng) {
+                        ctx.emit(WKey::new(x, key_bytes), TlValue(pair));
+                    }
+                })
+            })
+            .collect();
+
+        let s: Arc<Mutex<FxHashMap<u64, TwoLevelAccumulator>>> =
+            Arc::new(Mutex::new(FxHashMap::default()));
+        let s_reduce = Arc::clone(&s);
+        let reduce = Box::new(
+            move |key: &WKey,
+                  vals: &[TlValue],
+                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                let mut acc = TwoLevelAccumulator::default();
+                for v in vals {
+                    acc.absorb(v.0);
+                }
+                s_reduce.lock().insert(key.id, acc);
+            },
+        );
+        let s_finish = Arc::clone(&s);
+        let spec = JobSpec::new("two-level-s", map_tasks, reduce).with_finish(move |ctx| {
+            let s = s_finish.lock();
+            let coefs = wh_wavelet::sparse::sparse_transform(
+                domain,
+                s.iter().map(|(&x, acc)| (x, acc.estimate_v(&cfg))),
+            );
+            ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
+            ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
+            for e in top_k_magnitude(coefs, k) {
+                ctx.emit((e.slot, e.value));
+            }
+        });
+
+        let out = run_job(cluster, spec);
+        let histogram = WaveletHistogram::new(domain, out.outputs);
+        BuildResult { histogram, metrics: out.metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::ImprovedS;
+    use wh_data::DatasetBuilder;
+    use wh_wavelet::Domain;
+
+    fn ds(splits: u32) -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(10).unwrap())
+            .records(60_000)
+            .splits(splits)
+            .seed(55)
+            .build()
+    }
+
+    #[test]
+    fn communication_scales_like_sqrt_m_over_eps() {
+        let eps = 0.02;
+        let cluster = ClusterConfig::paper_cluster();
+        let result = TwoLevelS::new(eps, 2).build(&ds(25), &cluster, 8);
+        // Theorem 3: expected emitted keys ≤ 2·√m/ε = 500.
+        let bound = 2.0 * 5.0 / eps;
+        assert!(
+            (result.metrics.map_output_pairs as f64) < bound * 1.3,
+            "pairs {} vs bound {bound}",
+            result.metrics.map_output_pairs
+        );
+    }
+
+    #[test]
+    fn beats_improved_on_many_splits() {
+        // The √m separation: with m = 64 splits TwoLevel should emit
+        // clearly less than Improved on heavy-tailed data.
+        let eps = 0.015;
+        let cluster = ClusterConfig::paper_cluster();
+        let d = ds(64);
+        let improved = ImprovedS::new(eps, 2).build(&d, &cluster, 8);
+        let two = TwoLevelS::new(eps, 2).build(&d, &cluster, 8);
+        assert!(
+            two.metrics.shuffle_bytes < improved.metrics.shuffle_bytes,
+            "TwoLevel {} vs Improved {}",
+            two.metrics.shuffle_bytes,
+            improved.metrics.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn unbiased_total_mass() {
+        // Average over several sampling seeds should approach n.
+        let cluster = ClusterConfig::paper_cluster();
+        let d = ds(16);
+        let mut total = 0.0;
+        let runs = 8;
+        for seed in 0..runs {
+            let r = TwoLevelS::new(0.02, seed).build(&d, &cluster, 256);
+            total += r.histogram.range_sum(0, 1023);
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - 60_000.0).abs() < 6_000.0,
+            "mean total {mean}, want ≈ 60000"
+        );
+    }
+
+    #[test]
+    fn one_round_only() {
+        let r = TwoLevelS::new(0.05, 1).build(&ds(9), &ClusterConfig::paper_cluster(), 8);
+        assert_eq!(r.metrics.rounds, 1);
+        assert_eq!(r.metrics.broadcast_bytes, 0);
+    }
+}

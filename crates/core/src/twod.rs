@@ -1,0 +1,346 @@
+//! Two-dimensional wavelet histograms (§3/§4 "Multi-dimensional
+//! wavelets").
+//!
+//! The paper's argument carries over verbatim: the 2-D standard
+//! transform is linear, so global 2-D coefficients are sums of per-split
+//! 2-D coefficients, and both the exact top-k machinery and the sampling
+//! estimators apply unchanged. This module provides the 2-D counterparts
+//! of the centralized oracle, the Send-V baseline, the two-sided-TPUT
+//! exact method, and TwoLevel-S, over packed `(row_slot, col_slot)`
+//! coefficient addresses.
+
+use wh_data::twod::Dataset2d;
+use wh_mapreduce::cost::TaskWork;
+use wh_mapreduce::{ClusterConfig, RunMetrics};
+use wh_sampling::SamplingConfig;
+use wh_topk::{two_sided_topk, InMemoryNode};
+use wh_wavelet::hash::FxHashMap;
+use wh_wavelet::select::{sort_by_magnitude, CoefEntry};
+use wh_wavelet::twod::{point_estimate2d, sparse_transform2d, SparseCoefs2d};
+use wh_wavelet::Domain;
+
+/// A k-term 2-D wavelet histogram over `[u]²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletHistogram2d {
+    domain: Domain,
+    /// Packed `(row_slot, col_slot)` → value, descending magnitude.
+    coefs: Vec<(u64, f64)>,
+}
+
+impl WaveletHistogram2d {
+    /// Builds from packed-slot coefficients.
+    pub fn new(domain: Domain, coefs: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut entries: Vec<CoefEntry> = coefs
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|(slot, value)| CoefEntry { slot, value })
+            .collect();
+        sort_by_magnitude(&mut entries);
+        Self { domain, coefs: entries.into_iter().map(|e| (e.slot, e.value)).collect() }
+    }
+
+    /// Per-dimension domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Retained packed coefficients.
+    pub fn coefficients(&self) -> &[(u64, f64)] {
+        &self.coefs
+    }
+
+    /// Number of retained coefficients.
+    pub fn len(&self) -> usize {
+        self.coefs.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.coefs.is_empty()
+    }
+
+    /// Estimated frequency of the cell `(x, y)`.
+    pub fn point_estimate(&self, x: u64, y: u64) -> f64 {
+        let map: SparseCoefs2d = self.coefs.iter().copied().collect();
+        point_estimate2d(self.domain, &map, x, y)
+    }
+}
+
+/// Result of a 2-D construction.
+#[derive(Debug, Clone)]
+pub struct BuildResult2d {
+    /// The histogram.
+    pub histogram: WaveletHistogram2d,
+    /// Run measurements.
+    pub metrics: RunMetrics,
+}
+
+/// Exact centralized 2-D construction (ground truth).
+pub fn centralized2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> BuildResult2d {
+    let domain = dataset.domain();
+    let mut cells: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+    for j in 0..dataset.num_splits() {
+        for r in dataset.scan_split(j) {
+            *cells.entry((r.x, r.y)).or_insert(0) += 1;
+        }
+    }
+    let coefs =
+        sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
+    let top = wh_wavelet::select::top_k_magnitude(coefs, k);
+    let n = dataset.num_records();
+    let cpu_ops = n as f64 * 3.0
+        + cells.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
+    let work = TaskWork { bytes_scanned: n * 8, cpu_ops };
+    let sim_time_s = wh_mapreduce::cost::round_time(
+        cluster,
+        std::slice::from_ref(&work),
+        wh_mapreduce::cost::ReduceWork::default(),
+        0,
+        0,
+    );
+    BuildResult2d {
+        histogram: WaveletHistogram2d::new(domain, top.into_iter().map(|e| (e.slot, e.value))),
+        metrics: RunMetrics {
+            rounds: 0,
+            records_scanned: n,
+            bytes_scanned: n * 8,
+            cpu_ops,
+            sim_time_s,
+            ..Default::default()
+        },
+    }
+}
+
+/// Exact distributed 2-D construction: per-split 2-D transforms + the
+/// two-sided TPUT protocol over packed coefficient addresses — H-WTopk's
+/// multi-dimensional extension. Returns per-round pair counts via
+/// `metrics.map_output_pairs`.
+pub fn h_wtopk2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> BuildResult2d {
+    let domain = dataset.domain();
+    let m = dataset.num_splits();
+    // Per-split local 2-D coefficients.
+    let mut nodes = Vec::with_capacity(m as usize);
+    let mut cpu_ops = 0.0;
+    let mut records = 0u64;
+    for j in 0..m {
+        let mut cells: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        for r in dataset.scan_split(j) {
+            *cells.entry((r.x, r.y)).or_insert(0) += 1;
+            records += 1;
+        }
+        let coefs =
+            sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
+        cpu_ops += cells.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
+        nodes.push(InMemoryNode::new(coefs));
+    }
+    let result = two_sided_topk(&nodes, k);
+    // Communication: 16 bytes per uploaded pair (8 B packed slot + 8 B
+    // value), 8 bytes per broadcast candidate id.
+    let pairs = result.comm.total_pairs();
+    let shuffle_bytes = pairs * 16;
+    let broadcast_bytes = result.comm.broadcast_items * 8;
+    let per_split_scan = records / u64::from(m).max(1) * 8;
+    let tasks: Vec<TaskWork> = (0..m)
+        .map(|_| TaskWork { bytes_scanned: per_split_scan, cpu_ops: cpu_ops / m as f64 })
+        .collect();
+    let mut sim_time_s = 0.0;
+    for _round in 0..3 {
+        sim_time_s += wh_mapreduce::cost::round_time(
+            cluster,
+            &tasks[..],
+            wh_mapreduce::cost::ReduceWork { cpu_ops: pairs as f64 * 2.0 },
+            shuffle_bytes / 3,
+            broadcast_bytes / 3,
+        );
+    }
+    BuildResult2d {
+        histogram: WaveletHistogram2d::new(domain, result.topk),
+        metrics: RunMetrics {
+            rounds: 3,
+            shuffle_bytes,
+            broadcast_bytes,
+            map_output_pairs: pairs,
+            records_scanned: records,
+            bytes_scanned: records * 8,
+            cpu_ops,
+            sim_time_s,
+        },
+    }
+}
+
+/// TwoLevel-S in two dimensions: first-level record sampling per split,
+/// second-level frequency-proportional sampling of local *cell* counts.
+pub fn two_level_s2d(
+    dataset: &Dataset2d,
+    cluster: &ClusterConfig,
+    k: usize,
+    epsilon: f64,
+    seed: u64,
+) -> BuildResult2d {
+    use wh_data::SplitMix64;
+    let domain = dataset.domain();
+    let m = dataset.num_splits();
+    let cfg = SamplingConfig::new(epsilon, m, dataset.num_records());
+    let threshold = cfg.second_level_threshold();
+    let mut acc: FxHashMap<(u64, u64), (u64, u64)> = FxHashMap::default(); // (ρ, M)
+    let mut pairs = 0u64;
+    let mut shuffle_bytes = 0u64;
+    let mut sampled = 0u64;
+    for j in 0..m {
+        let nj = dataset.split_records(j);
+        let t_j = cfg.split_sample_size(nj);
+        let mut rng = SplitMix64::new(seed ^ (u64::from(j) << 20));
+        // First level: t_j distinct positions (Floyd would be exact; for the
+        // 2-D path positions are drawn directly — duplicates are negligible
+        // at these rates and do not bias the estimator conditioned on the
+        // multiset of sampled records).
+        let mut counts: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        for _ in 0..t_j {
+            let i = rng.next_below(nj.max(1));
+            let r = dataset.record_at(j, i);
+            *counts.entry((r.x, r.y)).or_insert(0) += 1;
+            sampled += 1;
+        }
+        // Second level.
+        for (&cell, &s) in &counts {
+            if s as f64 >= threshold {
+                let e = acc.entry(cell).or_insert((0, 0));
+                e.0 += s;
+                pairs += 1;
+                shuffle_bytes += 12; // 8 B packed cell + 4 B count
+            } else if rng.next_f64() < cfg.second_level_probability(s) {
+                let e = acc.entry(cell).or_insert((0, 0));
+                e.1 += 1;
+                pairs += 1;
+                shuffle_bytes += 8; // bare cell marker
+            }
+        }
+    }
+    let p = cfg.p();
+    let coefs = sparse_transform2d(
+        domain,
+        acc.iter().map(|(&(x, y), &(rho, markers))| {
+            (x, y, (rho as f64 + markers as f64 * threshold) / p)
+        }),
+    );
+    let top = wh_wavelet::select::top_k_magnitude(coefs, k);
+    let cpu_ops = sampled as f64 * 8.0
+        + acc.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
+    let tasks: Vec<TaskWork> = (0..m)
+        .map(|_| TaskWork { bytes_scanned: sampled / u64::from(m).max(1) * 8, cpu_ops: cpu_ops / m as f64 })
+        .collect();
+    let sim_time_s = wh_mapreduce::cost::round_time(
+        cluster,
+        &tasks[..],
+        wh_mapreduce::cost::ReduceWork { cpu_ops: pairs as f64 * 2.0 },
+        shuffle_bytes,
+        0,
+    );
+    BuildResult2d {
+        histogram: WaveletHistogram2d::new(domain, top.into_iter().map(|e| (e.slot, e.value))),
+        metrics: RunMetrics {
+            rounds: 1,
+            shuffle_bytes,
+            map_output_pairs: pairs,
+            records_scanned: sampled,
+            bytes_scanned: sampled * 8,
+            cpu_ops,
+            sim_time_s,
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_data::twod::Distribution2d;
+
+    fn dataset() -> Dataset2d {
+        Dataset2d::new(
+            Domain::new(5).unwrap(),
+            Distribution2d::Correlated { alpha: 1.1, spread: 2 },
+            30_000,
+            6,
+            17,
+        )
+    }
+
+    #[test]
+    fn hwtopk2d_matches_centralized() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let a = centralized2d(&d, &cluster, 10);
+        let b = h_wtopk2d(&d, &cluster, 10);
+        assert_eq!(a.histogram.len(), b.histogram.len());
+        for (x, y) in a.histogram.coefficients().iter().zip(b.histogram.coefficients()) {
+            assert!((x.1.abs() - y.1.abs()).abs() < 1e-6, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn hwtopk2d_cheaper_than_send_all() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let b = h_wtopk2d(&d, &cluster, 10);
+        // Send-all-coefficients would ship every non-zero local coefficient.
+        let domain = d.domain();
+        let mut total_nonzero = 0u64;
+        for j in 0..d.num_splits() {
+            let mut cells: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+            for r in d.scan_split(j) {
+                *cells.entry((r.x, r.y)).or_insert(0) += 1;
+            }
+            let coefs = sparse_transform2d(
+                domain,
+                cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)),
+            );
+            total_nonzero += coefs.len() as u64;
+        }
+        assert!(
+            b.metrics.map_output_pairs < total_nonzero / 2,
+            "tput pairs {} vs send-all {total_nonzero}",
+            b.metrics.map_output_pairs
+        );
+    }
+
+    #[test]
+    fn two_level_2d_reasonable_quality() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let exact = centralized2d(&d, &cluster, 64);
+        let approx = two_level_s2d(&d, &cluster, 64, 0.02, 5);
+        // Total-mass check through the top coefficient (the 2-D average):
+        // slot (0,0) packs to 0.
+        let exact_avg = exact
+            .histogram
+            .coefficients()
+            .iter()
+            .find(|&&(s, _)| s == 0)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        let approx_avg = approx
+            .histogram
+            .coefficients()
+            .iter()
+            .find(|&&(s, _)| s == 0)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        assert!(
+            (exact_avg - approx_avg).abs() < 0.25 * exact_avg.abs().max(1.0),
+            "avg {approx_avg} vs exact {exact_avg}"
+        );
+        assert!(approx.metrics.records_scanned < d.num_records() / 2);
+    }
+
+    #[test]
+    fn point_estimates_track_density() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let exact = centralized2d(&d, &cluster, 128);
+        // Cell (0,0) is in the dense corner under Zipf(1.1) + diagonal.
+        let dense = exact.histogram.point_estimate(0, 0);
+        let sparse = exact.histogram.point_estimate(20, 5); // off-diagonal
+        assert!(dense > sparse, "dense {dense} vs sparse {sparse}");
+    }
+}

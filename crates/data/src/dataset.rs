@@ -1,0 +1,443 @@
+//! Lazy, split-partitioned datasets.
+//!
+//! A [`Dataset`] models the paper's setting: `n` records with keys from
+//! `[u]`, stored as `m` HDFS splits of (roughly) equal record count. The
+//! record at `(split j, position i)` is produced by a pure function of the
+//! dataset seed, so scans are repeatable and random access is `O(1)` — see
+//! the crate docs for why.
+
+use crate::rng::{record_seed, SplitMix64};
+use crate::worldcup::WorldCupModel;
+use crate::zipf::Zipf;
+use wh_wavelet::Domain;
+
+/// One logical record: a key plus its on-disk footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// 0-based key in the dataset's domain.
+    pub key: u64,
+    /// Total stored size of the record, key included (bytes).
+    pub bytes: u32,
+}
+
+/// Static facts about one split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMeta {
+    /// Split index `j ∈ 0..m`.
+    pub id: u32,
+    /// Number of records in the split (`n_j`).
+    pub records: u64,
+    /// Stored size of the split in bytes.
+    pub bytes: u64,
+}
+
+/// Key distribution of a dataset.
+#[derive(Debug, Clone, Copy)]
+pub enum Distribution {
+    /// Zipf with exponent `alpha`; rank r ↔ key r (rank 0 most frequent).
+    Zipf { alpha: f64 },
+    /// Zipf with ranks scattered over the domain by a fixed bijection, so
+    /// heavy keys are not clustered at the left edge of the signal.
+    ScrambledZipf { alpha: f64 },
+    /// Uniform over the domain.
+    Uniform,
+    /// WorldCup-like access log (see [`crate::worldcup`]).
+    WorldCup,
+}
+
+/// A reproducible, lazily generated dataset split into `m` pieces.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    domain: Domain,
+    distribution: Distribution,
+    num_records: u64,
+    num_splits: u32,
+    record_bytes: u32,
+    key_bytes: u32,
+    seed: u64,
+    sampler: Sampler,
+}
+
+#[derive(Debug, Clone)]
+enum Sampler {
+    Zipf(Zipf),
+    ScrambledZipf(Zipf),
+    Uniform,
+    WorldCup(WorldCupModel),
+}
+
+/// Builder for [`Dataset`]; defaults mirror the scaled-down defaults of
+/// DESIGN.md (α = 1.1, u = 2²⁰, n = 2²⁴, 4-byte records, 64 splits).
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    domain: Domain,
+    distribution: Distribution,
+    num_records: u64,
+    num_splits: u32,
+    record_bytes: u32,
+    key_bytes: u32,
+    seed: u64,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        Self {
+            domain: Domain::new(20).expect("valid default domain"),
+            distribution: Distribution::Zipf { alpha: 1.1 },
+            num_records: 1 << 24,
+            num_splits: 64,
+            record_bytes: 4,
+            key_bytes: 4,
+            seed: 0x77_68_64_61_74_61, // "whdata"
+        }
+    }
+}
+
+impl DatasetBuilder {
+    /// Starts from the workspace defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the key domain.
+    pub fn domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Sets the key distribution.
+    pub fn distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Sets the total record count `n`.
+    pub fn records(mut self, n: u64) -> Self {
+        self.num_records = n;
+        self
+    }
+
+    /// Sets the number of splits `m`.
+    pub fn splits(mut self, m: u32) -> Self {
+        self.num_splits = m;
+        self
+    }
+
+    /// Sets the stored record size in bytes (≥ key size).
+    pub fn record_bytes(mut self, b: u32) -> Self {
+        self.record_bytes = b;
+        self
+    }
+
+    /// Sets the wire size of a key (4 or 8 bytes typically).
+    pub fn key_bytes(mut self, b: u32) -> Self {
+        self.key_bytes = b;
+        self
+    }
+
+    /// Sets the dataset seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builds the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero records/splits, record
+    /// smaller than its key, more splits than records).
+    pub fn build(self) -> Dataset {
+        assert!(self.num_records > 0, "dataset must have records");
+        assert!(self.num_splits > 0, "dataset must have splits");
+        assert!(
+            u64::from(self.num_splits) <= self.num_records,
+            "more splits ({}) than records ({})",
+            self.num_splits,
+            self.num_records
+        );
+        assert!(
+            self.record_bytes >= self.key_bytes,
+            "record ({} B) smaller than key ({} B)",
+            self.record_bytes,
+            self.key_bytes
+        );
+        let sampler = match self.distribution {
+            Distribution::Zipf { alpha } => Sampler::Zipf(Zipf::new(self.domain.u(), alpha)),
+            Distribution::ScrambledZipf { alpha } => {
+                Sampler::ScrambledZipf(Zipf::new(self.domain.u(), alpha))
+            }
+            Distribution::Uniform => Sampler::Uniform,
+            Distribution::WorldCup => Sampler::WorldCup(WorldCupModel::new(self.domain)),
+        };
+        Dataset {
+            domain: self.domain,
+            distribution: self.distribution,
+            num_records: self.num_records,
+            num_splits: self.num_splits,
+            record_bytes: self.record_bytes,
+            key_bytes: self.key_bytes,
+            seed: self.seed,
+            sampler,
+        }
+    }
+}
+
+impl Dataset {
+    /// Shorthand for the default Zipf dataset with overridable basics.
+    pub fn zipf(log_u: u32, alpha: f64, n: u64, m: u32) -> Self {
+        DatasetBuilder::new()
+            .domain(Domain::new(log_u).expect("log_u within range"))
+            .distribution(Distribution::Zipf { alpha })
+            .records(n)
+            .splits(m)
+            .build()
+    }
+
+    /// The key domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Distribution description.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution
+    }
+
+    /// Total records `n`.
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Number of splits `m`.
+    pub fn num_splits(&self) -> u32 {
+        self.num_splits
+    }
+
+    /// Stored record size (bytes).
+    pub fn record_bytes(&self) -> u32 {
+        self.record_bytes
+    }
+
+    /// Key wire size (bytes).
+    pub fn key_bytes(&self) -> u32 {
+        self.key_bytes
+    }
+
+    /// Total stored size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_records * u64::from(self.record_bytes)
+    }
+
+    /// Dataset seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Metadata for split `j`.
+    ///
+    /// Records are distributed as evenly as possible: the first
+    /// `n mod m` splits get one extra record.
+    pub fn split_meta(&self, j: u32) -> SplitMeta {
+        assert!(j < self.num_splits, "split {j} out of {}", self.num_splits);
+        let m = u64::from(self.num_splits);
+        let base = self.num_records / m;
+        let extra = self.num_records % m;
+        let records = base + u64::from(u64::from(j) < extra);
+        SplitMeta { id: j, records, bytes: records * u64::from(self.record_bytes) }
+    }
+
+    /// All split metadata.
+    pub fn split_metas(&self) -> Vec<SplitMeta> {
+        (0..self.num_splits).map(|j| self.split_meta(j)).collect()
+    }
+
+    /// The record at `(split j, position i)` — `O(1)`.
+    pub fn record_at(&self, j: u32, i: u64) -> Record {
+        debug_assert!(i < self.split_meta(j).records);
+        let mut rng = SplitMix64::new(record_seed(self.seed, j, i));
+        let key = match &self.sampler {
+            Sampler::Zipf(z) => z.sample(&mut rng),
+            Sampler::ScrambledZipf(z) => scramble(z.sample(&mut rng), self.domain),
+            Sampler::Uniform => rng.next_below(self.domain.u()),
+            Sampler::WorldCup(w) => w.sample(&mut rng),
+        };
+        Record { key, bytes: self.record_bytes }
+    }
+
+    /// Sequentially scans split `j`.
+    pub fn scan_split(&self, j: u32) -> impl Iterator<Item = Record> + '_ {
+        let records = self.split_meta(j).records;
+        (0..records).map(move |i| self.record_at(j, i))
+    }
+
+    /// Draws `count` record positions of split `j` **without replacement**,
+    /// reading only those records — the RandomRecordReader of Appendix B.
+    ///
+    /// Uses Floyd's algorithm, so memory is `O(count)` regardless of split
+    /// size. Positions are returned in ascending order (as the paper's
+    /// reader processes offsets from a priority queue).
+    pub fn sample_split(&self, j: u32, count: u64, sample_seed: u64) -> Vec<Record> {
+        let nj = self.split_meta(j).records;
+        let count = count.min(nj);
+        let mut chosen = wh_wavelet::hash::FxHashSet::default();
+        let mut rng = SplitMix64::new(record_seed(self.seed ^ sample_seed, j, u64::MAX));
+        // Floyd's sampling: for t in nj-count..nj, pick r in [0, t]; if taken,
+        // use t itself.
+        for t in (nj - count)..nj {
+            let r = rng.next_below(t + 1);
+            if !chosen.insert(r) {
+                chosen.insert(t);
+            }
+        }
+        let mut positions: Vec<u64> = chosen.into_iter().collect();
+        positions.sort_unstable();
+        positions.into_iter().map(|i| self.record_at(j, i)).collect()
+    }
+
+    /// The exact global frequency vector, computed by a full scan.
+    /// Materialises `u` counters; intended for evaluation (ground truth).
+    pub fn exact_frequency_vector(&self) -> Vec<u64> {
+        let mut v = vec![0u64; usize::try_from(self.domain.u()).expect("u fits in memory")];
+        for j in 0..self.num_splits {
+            for r in self.scan_split(j) {
+                v[usize::try_from(r.key).expect("key fits usize")] += 1;
+            }
+        }
+        v
+    }
+}
+
+/// A fixed measure-preserving bijection on the domain (odd-multiplier
+/// affine map modulo a power of two, then bit-avalanche masked back).
+fn scramble(rank: u64, domain: Domain) -> u64 {
+    let mask = domain.u() - 1;
+    // Odd multiplier => bijection modulo 2^log_u.
+    rank.wrapping_mul(0x9e37_79b9_7f4a_7c15 | 1) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        DatasetBuilder::new()
+            .domain(Domain::new(10).unwrap())
+            .records(10_000)
+            .splits(7)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn split_sizes_partition_n() {
+        let ds = small();
+        let total: u64 = ds.split_metas().iter().map(|s| s.records).sum();
+        assert_eq!(total, 10_000);
+        let min = ds.split_metas().iter().map(|s| s.records).min().unwrap();
+        let max = ds.split_metas().iter().map(|s| s.records).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn scan_is_deterministic_and_matches_random_access() {
+        let ds = small();
+        let scanned: Vec<Record> = ds.scan_split(3).collect();
+        for (i, r) in scanned.iter().enumerate() {
+            assert_eq!(*r, ds.record_at(3, i as u64));
+        }
+        let again: Vec<Record> = ds.scan_split(3).collect();
+        assert_eq!(scanned, again);
+    }
+
+    #[test]
+    fn keys_stay_in_domain() {
+        for dist in [
+            Distribution::Zipf { alpha: 1.1 },
+            Distribution::ScrambledZipf { alpha: 1.1 },
+            Distribution::Uniform,
+            Distribution::WorldCup,
+        ] {
+            let ds = DatasetBuilder::new()
+                .domain(Domain::new(8).unwrap())
+                .distribution(dist)
+                .records(5_000)
+                .splits(4)
+                .build();
+            for j in 0..4 {
+                for r in ds.scan_split(j) {
+                    assert!(r.key < 256, "{dist:?} produced key {}", r.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_positions_unique() {
+        let ds = small();
+        let nj = ds.split_meta(0).records;
+        let sample = ds.sample_split(0, nj, 1);
+        assert_eq!(sample.len() as u64, nj);
+        // Sampling everything equals scanning (as a multiset; positions are
+        // sorted so it is exactly the scan).
+        let scan: Vec<Record> = ds.scan_split(0).collect();
+        assert_eq!(sample, scan);
+    }
+
+    #[test]
+    fn sample_smaller_than_split() {
+        let ds = small();
+        let sample = ds.sample_split(2, 100, 7);
+        assert_eq!(sample.len(), 100);
+        for r in &sample {
+            assert!(r.key < 1024);
+        }
+        // Different sample seeds give different samples.
+        let other = ds.sample_split(2, 100, 8);
+        assert_ne!(sample, other);
+    }
+
+    #[test]
+    fn frequency_vector_sums_to_n() {
+        let ds = small();
+        let v = ds.exact_frequency_vector();
+        assert_eq!(v.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn zipf_dataset_is_skewed() {
+        let ds = Dataset::zipf(10, 1.4, 50_000, 5);
+        let v = ds.exact_frequency_vector();
+        // Head keys dominate under α=1.4.
+        let head: u64 = v[..8].iter().sum();
+        assert!(head > 25_000, "head mass {head}");
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let domain = Domain::new(10).unwrap();
+        let mut seen = vec![false; 1024];
+        for r in 0..1024u64 {
+            let s = scramble(r, domain) as usize;
+            assert!(!seen[s]);
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn virtual_payload_sizes() {
+        let ds = DatasetBuilder::new()
+            .records(100)
+            .splits(2)
+            .record_bytes(100_000)
+            .build();
+        assert_eq!(ds.total_bytes(), 10_000_000);
+        assert_eq!(ds.record_at(0, 0).bytes, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "more splits")]
+    fn too_many_splits_panics() {
+        DatasetBuilder::new().records(3).splits(10).build();
+    }
+}

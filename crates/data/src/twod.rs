@@ -1,0 +1,209 @@
+//! Two-dimensional datasets for the multi-dimensional extensions (§3/§4
+//! "Multi-dimensional wavelets").
+//!
+//! Keys are cells `(x, y) ∈ [u]²`. The generators mirror the 1-D ones, plus
+//! a *correlated* model (`y` near `x`) that exercises the sparse-data
+//! regime the paper warns about: with mass spread along a diagonal band,
+//! most cells are empty and sampling error is relatively larger.
+
+use crate::rng::{record_seed, SplitMix64};
+use crate::zipf::Zipf;
+use wh_wavelet::Domain;
+
+/// One 2-D record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record2d {
+    /// Row key (0-based).
+    pub x: u64,
+    /// Column key (0-based).
+    pub y: u64,
+    /// Stored size in bytes.
+    pub bytes: u32,
+}
+
+/// 2-D key distribution.
+#[derive(Debug, Clone, Copy)]
+pub enum Distribution2d {
+    /// Independent Zipf marginals.
+    IndependentZipf { alpha_x: f64, alpha_y: f64 },
+    /// `x` Zipf, `y = (x + Laplace-ish offset) mod u`: a diagonal band.
+    Correlated { alpha: f64, spread: u64 },
+    /// Uniform cells.
+    Uniform,
+}
+
+/// A lazy 2-D dataset over `[u]²`, split like its 1-D counterpart.
+#[derive(Debug, Clone)]
+pub struct Dataset2d {
+    domain: Domain,
+    distribution: Distribution2d,
+    num_records: u64,
+    num_splits: u32,
+    record_bytes: u32,
+    seed: u64,
+    zx: Option<Zipf>,
+    zy: Option<Zipf>,
+}
+
+impl Dataset2d {
+    /// Creates a 2-D dataset; `domain` applies per dimension.
+    pub fn new(
+        domain: Domain,
+        distribution: Distribution2d,
+        num_records: u64,
+        num_splits: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(num_records > 0 && num_splits > 0);
+        assert!(u64::from(num_splits) <= num_records);
+        let (zx, zy) = match distribution {
+            Distribution2d::IndependentZipf { alpha_x, alpha_y } => (
+                Some(Zipf::new(domain.u(), alpha_x)),
+                Some(Zipf::new(domain.u(), alpha_y)),
+            ),
+            Distribution2d::Correlated { alpha, .. } => {
+                (Some(Zipf::new(domain.u(), alpha)), None)
+            }
+            Distribution2d::Uniform => (None, None),
+        };
+        Self {
+            domain,
+            distribution,
+            num_records,
+            num_splits,
+            record_bytes: 8,
+            seed,
+            zx,
+            zy,
+        }
+    }
+
+    /// Per-dimension domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Total records.
+    pub fn num_records(&self) -> u64 {
+        self.num_records
+    }
+
+    /// Number of splits.
+    pub fn num_splits(&self) -> u32 {
+        self.num_splits
+    }
+
+    /// Records in split `j`.
+    pub fn split_records(&self, j: u32) -> u64 {
+        assert!(j < self.num_splits);
+        let m = u64::from(self.num_splits);
+        self.num_records / m + u64::from(u64::from(j) < self.num_records % m)
+    }
+
+    /// `O(1)` access to record `(j, i)`.
+    pub fn record_at(&self, j: u32, i: u64) -> Record2d {
+        let mut rng = SplitMix64::new(record_seed(self.seed ^ 0x2d2d, j, i));
+        let (x, y) = match self.distribution {
+            Distribution2d::IndependentZipf { .. } => (
+                self.zx.as_ref().expect("zx set").sample(&mut rng),
+                self.zy.as_ref().expect("zy set").sample(&mut rng),
+            ),
+            Distribution2d::Correlated { spread, .. } => {
+                let x = self.zx.as_ref().expect("zx set").sample(&mut rng);
+                // Two-sided geometric-ish offset within ±spread.
+                let off = rng.next_below(2 * spread + 1) as i64 - spread as i64;
+                let y = (x as i64 + off).rem_euclid(self.domain.u() as i64) as u64;
+                (x, y)
+            }
+            Distribution2d::Uniform => {
+                (rng.next_below(self.domain.u()), rng.next_below(self.domain.u()))
+            }
+        };
+        Record2d { x, y, bytes: self.record_bytes }
+    }
+
+    /// Sequential scan of split `j`.
+    pub fn scan_split(&self, j: u32) -> impl Iterator<Item = Record2d> + '_ {
+        (0..self.split_records(j)).map(move |i| self.record_at(j, i))
+    }
+
+    /// Exact frequency array (row-major `u×u`), for ground truth on small
+    /// domains.
+    pub fn exact_frequency_array(&self) -> Vec<u64> {
+        let u = usize::try_from(self.domain.u()).expect("u fits");
+        let mut v = vec![0u64; u * u];
+        for j in 0..self.num_splits {
+            for r in self.scan_split(j) {
+                v[r.x as usize * u + r.y as usize] += 1;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_in_domain() {
+        let d = Dataset2d::new(
+            Domain::new(6).unwrap(),
+            Distribution2d::IndependentZipf { alpha_x: 1.1, alpha_y: 0.9 },
+            5_000,
+            4,
+            1,
+        );
+        for j in 0..4 {
+            for r in d.scan_split(j) {
+                assert!(r.x < 64 && r.y < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_mass_near_diagonal() {
+        let d = Dataset2d::new(
+            Domain::new(8).unwrap(),
+            Distribution2d::Correlated { alpha: 1.0, spread: 3 },
+            20_000,
+            4,
+            2,
+        );
+        let mut near = 0u64;
+        let mut total = 0u64;
+        for j in 0..4 {
+            for r in d.scan_split(j) {
+                total += 1;
+                let dist = (r.x as i64 - r.y as i64).rem_euclid(256);
+                if dist <= 3 || dist >= 253 {
+                    near += 1;
+                }
+            }
+        }
+        assert_eq!(near, total, "all mass within the band: {near}/{total}");
+    }
+
+    #[test]
+    fn splits_partition_records() {
+        let d = Dataset2d::new(Domain::new(4).unwrap(), Distribution2d::Uniform, 1003, 7, 3);
+        let total: u64 = (0..7).map(|j| d.split_records(j)).sum();
+        assert_eq!(total, 1003);
+    }
+
+    #[test]
+    fn frequency_array_sums_to_n() {
+        let d = Dataset2d::new(Domain::new(4).unwrap(), Distribution2d::Uniform, 2_000, 2, 4);
+        let v = d.exact_frequency_array();
+        assert_eq!(v.iter().sum::<u64>(), 2_000);
+        assert_eq!(v.len(), 256);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = Dataset2d::new(Domain::new(5).unwrap(), Distribution2d::Uniform, 100, 2, 9);
+        let a: Vec<Record2d> = d.scan_split(1).collect();
+        let b: Vec<Record2d> = d.scan_split(1).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Zipf(α) sampling over an arbitrary domain size, in `O(1)` expected time
+//! per draw and `O(1)` memory.
+//!
+//! The experiments sweep the domain up to `u = 2^32` (paper §5: `log₂ u` up
+//! to 32), which rules out table-based samplers (an alias table over `2^32`
+//! bins is tens of gigabytes). We instead use **rejection-inversion**
+//! (Hörmann & Derflinger, 1996): invert the integral of the smooth envelope
+//! `h(x) = x^{-α}` and accept/reject against the discrete mass. Acceptance
+//! probability is high for all α ≥ 0, so a draw costs a couple of `exp`/`ln`
+//! calls.
+
+use crate::rng::SplitMix64;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `α ≥ 0`:
+/// `P(rank = r) ∝ r^{-α}`.
+///
+/// Sampled ranks are returned **0-based** (`0..n`) so they can be used as
+/// keys directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: f64,
+    alpha: f64,
+    /// `H(1.5) − h(1)`: lower endpoint of the envelope integral.
+    h_x1: f64,
+    /// `H(n + 0.5)`: upper endpoint.
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf(α) sampler over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `α < 0`, or `α` is not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf exponent must be ≥ 0, got {alpha}");
+        let nf = n as f64;
+        let h_x1 = h_integral(1.5, alpha) - 1.0;
+        let h_n = h_integral(nf + 0.5, alpha);
+        Self { n: nf, alpha, h_x1, h_n }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n as u64
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one 0-based rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = h_integral_inverse(u, self.alpha);
+            let k = x.round().clamp(1.0, self.n);
+            // Accept when u lands in the part of the envelope mass under
+            // the discrete bar of k.
+            if u >= h_integral(k + 0.5, self.alpha) - h(k, self.alpha) {
+                return k as u64 - 1;
+            }
+        }
+    }
+
+    /// Exact probability mass of the 0-based rank `r` (for tests and
+    /// analysis; `O(n)` the first time a normaliser is needed — callers
+    /// should compute the normaliser once via [`Zipf::normalizer`]).
+    pub fn pmf(&self, r: u64, normalizer: f64) -> f64 {
+        h((r + 1) as f64, self.alpha) / normalizer
+    }
+
+    /// The generalised harmonic number `Σ_{r=1..n} r^{-α}`.
+    pub fn normalizer(&self) -> f64 {
+        (1..=self.n as u64).map(|r| h(r as f64, self.alpha)).sum()
+    }
+}
+
+/// `h(x) = x^{-α}`.
+#[inline]
+fn h(x: f64, alpha: f64) -> f64 {
+    (-alpha * x.ln()).exp()
+}
+
+/// `H(x) = ∫₁ˣ t^{-α} dt + C`, continuous in α across α = 1:
+/// `(x^{1-α} − 1)/(1−α)` for α ≠ 1, `ln x` for α = 1.
+#[inline]
+fn h_integral(x: f64, alpha: f64) -> f64 {
+    let log_x = x.ln();
+    if (alpha - 1.0).abs() < 1e-12 {
+        log_x
+    } else {
+        ((1.0 - alpha) * log_x).exp_m1() / (1.0 - alpha)
+    }
+}
+
+/// Inverse of [`h_integral`].
+#[inline]
+fn h_integral_inverse(y: f64, alpha: f64) -> f64 {
+    if (alpha - 1.0).abs() < 1e-12 {
+        y.exp()
+    } else {
+        let t = (y * (1.0 - alpha)).max(-1.0);
+        (t.ln_1p() / (1.0 - alpha)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chi_squared_ok(alpha: f64, n: u64, draws: usize) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SplitMix64::new(0xfeed ^ (alpha * 1000.0) as u64 ^ n);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let norm = z.normalizer();
+        // Compare observed vs expected frequencies with a generous chi² cap
+        // over the head of the distribution (tail bins have tiny expecteds).
+        let mut chi2 = 0.0;
+        let mut dof = 0;
+        for r in 0..n {
+            let e = z.pmf(r, norm) * draws as f64;
+            if e >= 20.0 {
+                let o = counts[r as usize] as f64;
+                chi2 += (o - e) * (o - e) / e;
+                dof += 1;
+            }
+        }
+        assert!(dof > 0);
+        // χ² mean = dof, sd = √(2·dof); allow 6 sigma.
+        let bound = dof as f64 + 6.0 * (2.0 * dof as f64).sqrt();
+        assert!(chi2 < bound, "α={alpha} n={n}: chi2 {chi2:.1} > {bound:.1} (dof {dof})");
+    }
+
+    #[test]
+    fn matches_pmf_alpha_08() {
+        chi_squared_ok(0.8, 64, 200_000);
+    }
+
+    #[test]
+    fn matches_pmf_alpha_11() {
+        chi_squared_ok(1.1, 64, 200_000);
+    }
+
+    #[test]
+    fn matches_pmf_alpha_14() {
+        chi_squared_ok(1.4, 64, 200_000);
+    }
+
+    #[test]
+    fn matches_pmf_alpha_exactly_one() {
+        chi_squared_ok(1.0, 32, 100_000);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        chi_squared_ok(0.0, 16, 100_000);
+    }
+
+    #[test]
+    fn samples_within_range_large_domain() {
+        let z = Zipf::new(1 << 32, 1.1);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1 << 32);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates_for_skewed() {
+        let z = Zipf::new(1 << 20, 1.4);
+        let mut rng = SplitMix64::new(2);
+        let hits = (0..10_000).filter(|_| z.sample(&mut rng) == 0).count();
+        // P(rank 1) for α=1.4 over 2^20 ≈ 1/ζ(1.4) ≈ 0.3.
+        assert!(hits > 2_000, "rank 0 hit only {hits}/10000 times");
+    }
+
+    #[test]
+    fn domain_of_one_always_returns_zero() {
+        let z = Zipf::new(1, 1.1);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_alpha_panics() {
+        Zipf::new(10, -0.5);
+    }
+}

@@ -1,0 +1,106 @@
+//! Map- and reduce-side execution contexts.
+
+use crate::wire::WireSize;
+
+/// Context handed to a map task: emit intermediate pairs and account for
+/// the work done.
+#[derive(Debug)]
+pub struct MapContext<K, V> {
+    pub(crate) split_id: u32,
+    pub(crate) pairs: Vec<(K, V)>,
+    pub(crate) records_read: u64,
+    pub(crate) bytes_read: u64,
+    pub(crate) cpu_ops: f64,
+}
+
+impl<K, V> MapContext<K, V>
+where
+    K: WireSize,
+    V: WireSize,
+{
+    pub(crate) fn new(split_id: u32) -> Self {
+        Self { split_id, pairs: Vec::new(), records_read: 0, bytes_read: 0, cpu_ops: 0.0 }
+    }
+
+    /// The split this task processes.
+    pub fn split_id(&self) -> u32 {
+        self.split_id
+    }
+
+    /// Emits one intermediate `(k₂, v₂)` pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Records that `records` records totalling `bytes` bytes were read
+    /// from the split. Full scans call this once with the split totals;
+    /// samplers call it with the touched subset only.
+    #[inline]
+    pub fn note_read(&mut self, records: u64, bytes: u64) {
+        self.records_read += records;
+        self.bytes_read += bytes;
+    }
+
+    /// Charges `ops` abstract CPU operations to this task (hash-map
+    /// updates, wavelet coefficient updates, sketch row updates…). The
+    /// cost model converts ops into seconds per machine.
+    #[inline]
+    pub fn charge(&mut self, ops: f64) {
+        self.cpu_ops += ops;
+    }
+}
+
+/// Context handed to the reduce function.
+#[derive(Debug)]
+pub struct ReduceContext<R> {
+    pub(crate) outputs: Vec<R>,
+    pub(crate) cpu_ops: f64,
+}
+
+impl<R> ReduceContext<R> {
+    pub(crate) fn new() -> Self {
+        Self { outputs: Vec::new(), cpu_ops: 0.0 }
+    }
+
+    /// Emits one final output record.
+    #[inline]
+    pub fn emit(&mut self, out: R) {
+        self.outputs.push(out);
+    }
+
+    /// Charges CPU work to the reducer.
+    #[inline]
+    pub fn charge(&mut self, ops: f64) {
+        self.cpu_ops += ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_accumulates() {
+        let mut ctx: MapContext<u32, f64> = MapContext::new(3);
+        assert_eq!(ctx.split_id(), 3);
+        ctx.emit(1, 2.0);
+        ctx.emit(2, 4.0);
+        ctx.note_read(10, 40);
+        ctx.note_read(5, 20);
+        ctx.charge(100.0);
+        assert_eq!(ctx.pairs.len(), 2);
+        assert_eq!(ctx.records_read, 15);
+        assert_eq!(ctx.bytes_read, 60);
+        assert_eq!(ctx.cpu_ops, 100.0);
+    }
+
+    #[test]
+    fn reduce_context_collects() {
+        let mut ctx: ReduceContext<String> = ReduceContext::new();
+        ctx.emit("a".into());
+        ctx.charge(5.0);
+        assert_eq!(ctx.outputs, vec!["a".to_string()]);
+        assert_eq!(ctx.cpu_ops, 5.0);
+    }
+}

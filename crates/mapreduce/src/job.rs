@@ -1,0 +1,406 @@
+//! Job specification and the execution engine.
+//!
+//! A [`JobSpec`] describes one MapReduce round: one map closure per split,
+//! an optional Combine function, a partitioner, and a reduce closure per
+//! partition. [`run_job`] executes the round — map tasks in parallel worker
+//! threads, then a deterministic sort-shuffle-reduce — and returns the
+//! reducer outputs together with exact [`RunMetrics`].
+//!
+//! Determinism: mappers may run in any thread interleaving, but shuffle
+//! output is sorted by `(key, split id, arrival order)` before reduction,
+//! so reducers always observe the same sequence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::context::{MapContext, ReduceContext};
+use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
+use crate::metrics::RunMetrics;
+use crate::wire::WireSize;
+
+/// The boxed closure a map task runs.
+pub type MapFn<K, V> = Box<dyn FnOnce(&mut MapContext<K, V>) + Send>;
+
+/// Shared Combine function: mutates a key's value list in place.
+pub type CombineFn<K, V> = Arc<dyn Fn(&K, &mut Vec<V>) + Send + Sync>;
+
+/// Reducer Close hook.
+pub type FinishFn<R> = Box<dyn FnOnce(&mut ReduceContext<R>) + Send>;
+
+/// One map task: a closure run against its [`MapContext`].
+pub struct MapTask<K, V> {
+    /// The split this task reads (its id is echoed into the context).
+    pub split_id: u32,
+    /// The work: read input (however the algorithm likes), emit pairs.
+    pub run: MapFn<K, V>,
+}
+
+impl<K, V> MapTask<K, V> {
+    /// Convenience constructor.
+    pub fn new(split_id: u32, run: impl FnOnce(&mut MapContext<K, V>) + Send + 'static) -> Self {
+        Self { split_id, run: Box::new(run) }
+    }
+}
+
+/// Reduce function: receives each `(key, values-of-that-key)` group in key
+/// order; `values` preserves the deterministic shuffle order.
+pub type ReduceFn<K, V, R> = Box<dyn FnMut(&K, &[V], &mut ReduceContext<R>) + Send>;
+
+/// A single MapReduce round.
+pub struct JobSpec<K, V, R> {
+    /// Human-readable job name (diagnostics only).
+    pub name: String,
+    /// One map task per split.
+    pub map_tasks: Vec<MapTask<K, V>>,
+    /// Optional Combine function, applied per split to each key's values
+    /// **before** communication is measured (exactly Hadoop's combiner
+    /// contract: it may shrink, rewrite, or keep the value list).
+    pub combiner: Option<CombineFn<K, V>>,
+    /// Number of reduce partitions (the paper always uses 1).
+    pub num_reducers: u32,
+    /// Maps a key to its reduce partition.
+    pub partitioner: Arc<dyn Fn(&K) -> u64 + Send + Sync>,
+    /// The reduce function (shared across partitions; invoked in partition
+    /// order, then key order).
+    pub reduce: ReduceFn<K, V, R>,
+    /// Bytes pushed to every slave through Job Configuration /
+    /// Distributed Cache before the round starts.
+    pub broadcast_bytes: u64,
+    /// Reducer Close hook (the paper's Close interface, Appendix B): runs
+    /// once after the last key group — where histograms are assembled from
+    /// aggregated state.
+    pub finish: Option<FinishFn<R>>,
+}
+
+impl<K, V, R> JobSpec<K, V, R>
+where
+    K: Ord + std::hash::Hash + Clone + Send + WireSize,
+    V: Send + WireSize,
+{
+    /// A one-reducer job with default (hash) partitioning and no combiner.
+    pub fn new(
+        name: impl Into<String>,
+        map_tasks: Vec<MapTask<K, V>>,
+        reduce: ReduceFn<K, V, R>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            map_tasks,
+            combiner: None,
+            num_reducers: 1,
+            partitioner: Arc::new(|_| 0),
+            reduce,
+            broadcast_bytes: 0,
+            finish: None,
+        }
+    }
+
+    /// Sets the combiner.
+    pub fn with_combiner(mut self, f: impl Fn(&K, &mut Vec<V>) + Send + Sync + 'static) -> Self {
+        self.combiner = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the broadcast payload size.
+    pub fn with_broadcast(mut self, bytes: u64) -> Self {
+        self.broadcast_bytes = bytes;
+        self
+    }
+
+    /// Sets the reducer Close hook.
+    pub fn with_finish(mut self, f: impl FnOnce(&mut ReduceContext<R>) + Send + 'static) -> Self {
+        self.finish = Some(Box::new(f));
+        self
+    }
+}
+
+/// The result of one round.
+#[derive(Debug)]
+pub struct JobOutput<R> {
+    /// Reducer outputs, in emission order.
+    pub outputs: Vec<R>,
+    /// Exact measurements for this round (`rounds == 1`).
+    pub metrics: RunMetrics,
+}
+
+struct TaskResult<K, V> {
+    split_id: u32,
+    pairs: Vec<(K, V)>,
+    work: TaskWork,
+    records_read: u64,
+}
+
+/// Executes one MapReduce round on `cluster`.
+///
+/// Work-steals map tasks across `min(available_parallelism, tasks)` OS
+/// threads; everything downstream is sequential and deterministic.
+pub fn run_job<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
+where
+    K: Ord + std::hash::Hash + Clone + Send + WireSize,
+    V: Send + WireSize,
+    R: Send,
+{
+    let JobSpec {
+        map_tasks,
+        combiner,
+        num_reducers,
+        partitioner,
+        mut reduce,
+        broadcast_bytes,
+        finish,
+        ..
+    } = spec;
+    assert!(num_reducers >= 1, "need at least one reducer");
+
+    // ---- Map phase (parallel) ----
+    let task_queue: Vec<Mutex<Option<MapTask<K, V>>>> =
+        map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<TaskResult<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(task_queue.len().max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= task_queue.len() {
+                    break;
+                }
+                let task = task_queue[i].lock().take().expect("each task taken once");
+                let mut ctx = MapContext::new(task.split_id);
+                (task.run)(&mut ctx);
+                let mut pairs = ctx.pairs;
+                if let Some(comb) = &combiner {
+                    pairs = apply_combiner(pairs, comb.as_ref());
+                }
+                // Hadoop sorts each spill by key within the mapper; we sort
+                // here so shuffle concatenation stays deterministic.
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                results.lock().push(TaskResult {
+                    split_id: task.split_id,
+                    pairs,
+                    work: TaskWork { bytes_scanned: ctx.bytes_read, cpu_ops: ctx.cpu_ops },
+                    records_read: ctx.records_read,
+                });
+            });
+        }
+    })
+    .expect("map worker panicked");
+
+    let mut per_task = results.into_inner();
+    per_task.sort_by_key(|t| t.split_id);
+
+    // ---- Accounting + shuffle ----
+    let mut metrics = RunMetrics { rounds: 1, broadcast_bytes, ..Default::default() };
+    let mut task_work = Vec::with_capacity(per_task.len());
+    let mut shuffled: Vec<(u64, K, u32, V)> = Vec::new(); // (partition, key, split, value)
+    for t in per_task {
+        task_work.push(t.work);
+        metrics.records_scanned += t.records_read;
+        metrics.bytes_scanned += t.work.bytes_scanned;
+        metrics.cpu_ops += t.work.cpu_ops;
+        for (k, v) in t.pairs {
+            metrics.map_output_pairs += 1;
+            metrics.shuffle_bytes += k.wire_bytes() + v.wire_bytes();
+            let p = partitioner(&k) % u64::from(num_reducers);
+            shuffled.push((p, k, t.split_id, v));
+        }
+    }
+    // Deterministic order: partition, key, then source split.
+    shuffled.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+
+    // ---- Reduce phase ----
+    let mut rctx = ReduceContext::new();
+    let mut iter = shuffled.into_iter().peekable();
+    let mut values: Vec<V> = Vec::new();
+    while let Some((part, key, _split, value)) = iter.next() {
+        values.clear();
+        values.push(value);
+        while let Some((p2, k2, _, _)) = iter.peek() {
+            if *p2 == part && *k2 == key {
+                let (_, _, _, v) = iter.next().expect("peeked entry exists");
+                values.push(v);
+            } else {
+                break;
+            }
+        }
+        reduce(&key, &values, &mut rctx);
+    }
+    if let Some(f) = finish {
+        f(&mut rctx);
+    }
+
+    metrics.cpu_ops += rctx.cpu_ops;
+    metrics.sim_time_s = round_time(
+        cluster,
+        &task_work,
+        ReduceWork { cpu_ops: rctx.cpu_ops },
+        metrics.shuffle_bytes,
+        metrics.broadcast_bytes,
+    );
+
+    JobOutput { outputs: rctx.outputs, metrics }
+}
+
+fn apply_combiner<K, V>(
+    pairs: Vec<(K, V)>,
+    comb: &(dyn Fn(&K, &mut Vec<V>) + Send + Sync),
+) -> Vec<(K, V)>
+where
+    K: Ord + std::hash::Hash + Clone,
+{
+    use wh_wavelet::hash::FxHashMap;
+    let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (k, mut vs) in groups {
+        comb(&k, &mut vs);
+        for v in vs {
+            out.push((k.clone(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordcount_tasks(splits: Vec<Vec<u32>>) -> Vec<MapTask<u32, u64>> {
+        splits
+            .into_iter()
+            .enumerate()
+            .map(|(j, keys)| {
+                MapTask::new(j as u32, move |ctx: &mut MapContext<u32, u64>| {
+                    ctx.note_read(keys.len() as u64, keys.len() as u64 * 4);
+                    for k in &keys {
+                        ctx.emit(*k, 1);
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn count_reduce() -> ReduceFn<u32, u64, (u32, u64)> {
+        Box::new(|k, vs, ctx| {
+            ctx.emit((*k, vs.iter().sum()));
+        })
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let cluster = ClusterConfig::single_machine();
+        let tasks = wordcount_tasks(vec![vec![1, 2, 2], vec![2, 3], vec![1, 1, 1]]);
+        let spec = JobSpec::new("wc", tasks, count_reduce());
+        let out = run_job(&cluster, spec);
+        let mut got = out.outputs.clone();
+        got.sort();
+        assert_eq!(got, vec![(1, 4), (2, 3), (3, 1)]);
+        assert_eq!(out.metrics.records_scanned, 8);
+        assert_eq!(out.metrics.bytes_scanned, 32);
+        assert_eq!(out.metrics.map_output_pairs, 8);
+        // 8 pairs × (4 + 8) bytes.
+        assert_eq!(out.metrics.shuffle_bytes, 96);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn combiner_shrinks_communication() {
+        let cluster = ClusterConfig::single_machine();
+        let tasks = wordcount_tasks(vec![vec![7; 100], vec![7; 50]]);
+        let spec = JobSpec::new("wc", tasks, count_reduce()).with_combiner(|_k, vs: &mut Vec<u64>| {
+            let total: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(total);
+        });
+        let out = run_job(&cluster, spec);
+        assert_eq!(out.outputs, vec![(7, 150)]);
+        // One combined pair per split.
+        assert_eq!(out.metrics.map_output_pairs, 2);
+        assert_eq!(out.metrics.shuffle_bytes, 24);
+    }
+
+    #[test]
+    fn reduce_sees_keys_in_sorted_order() {
+        let cluster = ClusterConfig::single_machine();
+        let tasks = wordcount_tasks(vec![vec![9, 1, 5], vec![3, 7]]);
+        let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order2 = order.clone();
+        let reduce: ReduceFn<u32, u64, ()> = Box::new(move |k, _vs, _ctx| {
+            order2.lock().push(*k);
+        });
+        let spec = JobSpec::new("order", tasks, reduce);
+        run_job(&cluster, spec);
+        assert_eq!(*order.lock(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn values_arrive_in_split_order() {
+        let cluster = ClusterConfig::single_machine();
+        // Each split emits its id as value for the same key.
+        let tasks: Vec<MapTask<u32, u64>> = (0..6u32)
+            .map(|j| {
+                MapTask::new(j, move |ctx: &mut MapContext<u32, u64>| {
+                    ctx.emit(42, u64::from(j));
+                })
+            })
+            .collect();
+        let reduce: ReduceFn<u32, u64, Vec<u64>> = Box::new(|_k, vs, ctx| {
+            ctx.emit(vs.to_vec());
+        });
+        let spec = JobSpec::new("split-order", tasks, reduce);
+        let out = run_job(&cluster, spec);
+        assert_eq!(out.outputs, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn charged_cpu_flows_into_metrics_and_time() {
+        let mut cluster = ClusterConfig::single_machine();
+        cluster.cpu_ops_per_s = 1e6;
+        let tasks = vec![MapTask::new(0, |ctx: &mut MapContext<u32, u64>| {
+            ctx.charge(2e6);
+        })];
+        let reduce: ReduceFn<u32, u64, ()> = Box::new(|_, _, ctx| ctx.charge(1e6));
+        let spec = JobSpec::new("cpu", tasks, reduce);
+        let out = run_job(&cluster, spec);
+        assert_eq!(out.metrics.cpu_ops, 2e6);
+        // Map 2s (2e6 ops at 1e6/s); no reduce groups ran (no pairs).
+        assert!((out.metrics.sim_time_s - 2.0).abs() < 0.01, "{}", out.metrics.sim_time_s);
+    }
+
+    #[test]
+    fn broadcast_is_accounted() {
+        let cluster = ClusterConfig::paper_cluster();
+        let tasks = wordcount_tasks(vec![vec![1]]);
+        let spec = JobSpec::new("bcast", tasks, count_reduce()).with_broadcast(1 << 20);
+        let out = run_job(&cluster, spec);
+        assert_eq!(out.metrics.broadcast_bytes, 1 << 20);
+        assert_eq!(out.metrics.total_comm_bytes(), (1 << 20) + 12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cluster = ClusterConfig::paper_cluster();
+        let mk = || {
+            let tasks = wordcount_tasks((0..20).map(|j| vec![j % 5, j % 3, 2]).collect());
+            JobSpec::new("det", tasks, count_reduce())
+        };
+        let a = run_job(&cluster, mk());
+        let b = run_job(&cluster, mk());
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn empty_job() {
+        let cluster = ClusterConfig::single_machine();
+        let spec: JobSpec<u32, u64, ()> = JobSpec::new("empty", vec![], Box::new(|_, _, _| {}));
+        let out = run_job(&cluster, spec);
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.metrics.shuffle_bytes, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # wh-mapreduce — a deterministic MapReduce runtime with cost accounting
+//!
+//! This crate stands in for the Hadoop cluster of the paper's experiments
+//! (§2.2, §5). It really executes MapReduce jobs — user-supplied map
+//! closures run in parallel threads, their emitted pairs are combined,
+//! partitioned, sorted, shuffled and reduced — while every quantity the
+//! paper measures is accounted exactly:
+//!
+//! * **communication**: bytes of intermediate `(k₂, v₂)` pairs after the
+//!   Combine function, plus Job-Configuration / Distributed-Cache broadcast
+//!   bytes (the paper's two sideband channels, §3 "System issues");
+//! * **work**: records and bytes scanned by mappers, CPU operations charged
+//!   by the algorithm (hashing, wavelet updates, sketch updates…);
+//! * **simulated wall-clock**: the [`cost`] model converts the measured
+//!   work into seconds on a configurable cluster. The default
+//!   [`cost::ClusterConfig::paper_cluster`] reproduces the paper's
+//!   16-machine heterogeneous setup (100 Mbps switch, default 50%
+//!   available bandwidth, one reducer pinned to a fixed machine).
+//!
+//! Multi-round algorithms (H-WTopk needs three rounds) keep per-split state
+//! in a [`state::StateStore`], mirroring the paper's trick of persisting
+//! mapper state to a local HDFS file between rounds (Appendix A) — which is
+//! also why that state is *not* charged as communication.
+
+pub mod wire;
+pub mod context;
+pub mod cost;
+pub mod job;
+pub mod metrics;
+pub mod state;
+
+pub use context::{MapContext, ReduceContext};
+pub use cost::{ClusterConfig, MachineSpec};
+pub use job::{run_job, JobOutput, JobSpec, MapTask};
+pub use metrics::RunMetrics;
+pub use state::StateStore;
+pub use wire::WireSize;

@@ -1,0 +1,119 @@
+//! Run metrics: the quantities the paper's experiments report.
+
+use std::fmt;
+
+/// Accumulated measurements of one job or one complete algorithm run
+/// (possibly multiple MapReduce rounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Number of MapReduce rounds executed.
+    pub rounds: u32,
+    /// Bytes of intermediate pairs shuffled from mappers to reducers
+    /// (after Combine) — the paper's headline communication metric.
+    pub shuffle_bytes: u64,
+    /// Bytes broadcast to all slaves through the Job Configuration or
+    /// Distributed Cache.
+    pub broadcast_bytes: u64,
+    /// Intermediate pairs shuffled (after Combine).
+    pub map_output_pairs: u64,
+    /// Records read by mappers across all splits.
+    pub records_scanned: u64,
+    /// Bytes read from storage by mappers.
+    pub bytes_scanned: u64,
+    /// Algorithm-charged CPU operations (map side + reduce side).
+    pub cpu_ops: f64,
+    /// Simulated wall-clock seconds on the configured cluster.
+    pub sim_time_s: f64,
+}
+
+impl RunMetrics {
+    /// Total intra-cluster communication: shuffle plus broadcast.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Accumulates another round's metrics into `self`.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.rounds += other.rounds;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.map_output_pairs += other.map_output_pairs;
+        self.records_scanned += other.records_scanned;
+        self.bytes_scanned += other.bytes_scanned;
+        self.cpu_ops += other.cpu_ops;
+        self.sim_time_s += other.sim_time_s;
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} comm={}B (shuffle={}B broadcast={}B) pairs={} scanned={} recs/{}B time={:.1}s",
+            self.rounds,
+            self.total_comm_bytes(),
+            self.shuffle_bytes,
+            self.broadcast_bytes,
+            self.map_output_pairs,
+            self.records_scanned,
+            self.bytes_scanned,
+            self.sim_time_s,
+        )
+    }
+}
+
+/// Pretty-prints a byte count with a binary-ish unit, for tables.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = b as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 100,
+            broadcast_bytes: 10,
+            map_output_pairs: 5,
+            records_scanned: 1000,
+            bytes_scanned: 4000,
+            cpu_ops: 1e6,
+            sim_time_s: 2.0,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.shuffle_bytes, 200);
+        assert_eq!(a.total_comm_bytes(), 220);
+        assert_eq!(a.sim_time_s, 4.0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let m = RunMetrics { rounds: 3, shuffle_bytes: 7, ..Default::default() };
+        let s = m.to_string();
+        assert!(s.contains("rounds=3"));
+        assert!(s.contains("shuffle=7B"));
+    }
+}

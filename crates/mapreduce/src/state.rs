@@ -1,0 +1,118 @@
+//! Per-split persistent state across MapReduce rounds.
+//!
+//! H-WTopk's mappers must remember, between rounds, the local wavelet
+//! coefficients they have not yet sent (Appendix A). In Hadoop this is done
+//! by writing a state file to HDFS keyed by the split id at mapper close
+//! and re-reading it when the split is processed in the next round; because
+//! HDFS writes locally when possible, it costs no network traffic. A
+//! [`StateStore`] models exactly that: a typed per-split blob store that is
+//! *not* charged as communication.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Thread-safe per-split state, keyed by split id.
+#[derive(Default)]
+pub struct StateStore {
+    slots: Mutex<HashMap<u32, Box<dyn Any + Send>>>,
+}
+
+impl StateStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Saves `state` for `split`, replacing any previous value.
+    pub fn save<T: Any + Send>(&self, split: u32, state: T) {
+        self.slots.lock().insert(split, Box::new(state));
+    }
+
+    /// Removes and returns the state of `split`, if present and of type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored state has a different type — that is a
+    /// programming error in the round driver, not a data condition.
+    pub fn take<T: Any + Send>(&self, split: u32) -> Option<T> {
+        self.slots.lock().remove(&split).map(|b| {
+            *b.downcast::<T>().unwrap_or_else(|_| {
+                panic!("state for split {split} has unexpected type")
+            })
+        })
+    }
+
+    /// Reads (clones) the state of `split` without removing it.
+    pub fn get<T: Any + Send + Clone>(&self, split: u32) -> Option<T> {
+        self.slots.lock().get(&split).map(|b| {
+            b.downcast_ref::<T>()
+                .unwrap_or_else(|| panic!("state for split {split} has unexpected type"))
+                .clone()
+        })
+    }
+
+    /// Number of splits with saved state.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether no state is stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for StateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StateStore({} splits)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_take_roundtrip() {
+        let store = StateStore::new();
+        store.save(3, vec![1u64, 2, 3]);
+        assert_eq!(store.len(), 1);
+        let v: Vec<u64> = store.take(3).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(store.is_empty());
+        assert_eq!(store.take::<Vec<u64>>(3), None);
+    }
+
+    #[test]
+    fn get_clones_without_removing() {
+        let store = StateStore::new();
+        store.save(1, 42u32);
+        assert_eq!(store.get::<u32>(1), Some(42));
+        assert_eq!(store.get::<u32>(1), Some(42));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn wrong_type_panics() {
+        let store = StateStore::new();
+        store.save(1, 42u32);
+        let _: Option<String> = store.take(1);
+    }
+
+    #[test]
+    fn concurrent_saves() {
+        let store = StateStore::new();
+        std::thread::scope(|s| {
+            for j in 0..8u32 {
+                let store = &store;
+                s.spawn(move || store.save(j, j as u64 * 10));
+            }
+        });
+        assert_eq!(store.len(), 8);
+        for j in 0..8u32 {
+            assert_eq!(store.get::<u64>(j), Some(j as u64 * 10));
+        }
+    }
+}

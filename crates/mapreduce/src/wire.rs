@@ -1,0 +1,195 @@
+//! Wire-size accounting for intermediate key-value pairs.
+//!
+//! The paper's communication metric is the number of bytes of intermediate
+//! data crossing the network. The experiments spell out the encodings
+//! (§5 setup): 4-byte integers for mapper-side counts, 8-byte integers at
+//! the reducer, 8-byte doubles for wavelet coefficients and sketch entries.
+//! [`WireSize`] lets each algorithm declare exactly those sizes without a
+//! serialisation round-trip.
+
+/// Number of bytes a value occupies on the wire.
+pub trait WireSize {
+    /// Encoded size in bytes.
+    fn wire_bytes(&self) -> u64;
+}
+
+macro_rules! fixed_wire {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl WireSize for $t {
+            #[inline]
+            fn wire_bytes(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_wire! {
+    u8 => 1, i8 => 1,
+    u16 => 2, i16 => 2,
+    u32 => 4, i32 => 4, f32 => 4,
+    u64 => 8, i64 => 8, f64 => 8,
+    () => 0,
+    bool => 1,
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        // A presence byte plus the payload — matches emitting (x, NULL)
+        // markers in TwoLevel-S as a bare key with a tag.
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        // 4-byte length prefix plus elements.
+        4 + self.iter().map(WireSize::wire_bytes).sum::<u64>()
+    }
+}
+
+impl<T: WireSize> WireSize for &T {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        (**self).wire_bytes()
+    }
+}
+
+/// A value whose wire size is declared explicitly — used when an algorithm
+/// emits a logical payload whose physical encoding differs from its Rust
+/// representation (e.g. a 4-byte count carried in a `u64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sized<T> {
+    /// The carried value.
+    pub value: T,
+    /// Its declared wire size in bytes.
+    pub bytes: u32,
+}
+
+impl<T> Sized<T> {
+    /// Wraps `value` with an explicit wire size.
+    pub fn new(value: T, bytes: u32) -> Self {
+        Self { value, bytes }
+    }
+}
+
+impl<T> WireSize for Sized<T> {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        u64::from(self.bytes)
+    }
+}
+
+/// An intermediate key with an explicit wire size — the paper's 4-byte
+/// integer keys (and 4-byte coefficient indices) carried in a `u64`.
+///
+/// Ordering and hashing ignore the size field, which is uniform within a
+/// job anyway.
+#[derive(Debug, Clone, Copy)]
+pub struct WKey {
+    /// The key value.
+    pub id: u64,
+    /// Declared wire size in bytes.
+    pub bytes: u8,
+}
+
+impl WKey {
+    /// A key with an explicit wire size.
+    #[inline]
+    pub fn new(id: u64, bytes: u8) -> Self {
+        Self { id, bytes }
+    }
+
+    /// The paper's default 4-byte key.
+    #[inline]
+    pub fn four(id: u64) -> Self {
+        Self { id, bytes: 4 }
+    }
+}
+
+impl PartialEq for WKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for WKey {}
+
+impl PartialOrd for WKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+
+impl std::hash::Hash for WKey {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl WireSize for WKey {
+    #[inline]
+    fn wire_bytes(&self) -> u64 {
+        u64::from(self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wkey_identity_ignores_size() {
+        assert_eq!(WKey::new(5, 4), WKey::new(5, 8));
+        assert!(WKey::new(3, 4) < WKey::new(5, 4));
+        assert_eq!(WKey::four(9).wire_bytes(), 4);
+    }
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(3u32.wire_bytes(), 4);
+        assert_eq!(3u64.wire_bytes(), 8);
+        assert_eq!(1.5f64.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2.0f64).wire_bytes(), 12);
+        assert_eq!((1u32, 2u32, 3.0f64).wire_bytes(), 16);
+        assert_eq!(Some(5u32).wire_bytes(), 5);
+        assert_eq!(None::<u32>.wire_bytes(), 1);
+        assert_eq!(vec![1u64, 2, 3].wire_bytes(), 4 + 24);
+    }
+
+    #[test]
+    fn explicit_sizes() {
+        let s = Sized::new(123u64, 4);
+        assert_eq!(s.wire_bytes(), 4);
+        assert_eq!((7u32, s).wire_bytes(), 8);
+    }
+}

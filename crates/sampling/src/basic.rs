@@ -1,0 +1,81 @@
+//! Basic-S: ship the whole first-level sample.
+//!
+//! Each split emits one pair per sampled record; the optional Combine
+//! function aggregates repeats of a key within a split into `(x, s_j(x))`.
+//! Communication is `O(1/ε²)` pairs without combining and between
+//! `O(m)` and `O(1/ε²)` with, depending entirely on the data skew — the
+//! paper's motivation for something better.
+
+use wh_wavelet::hash::FxHashMap;
+
+/// Aggregates sampled keys into local counts `s_j` (the Combine step).
+pub fn local_counts(sampled_keys: impl IntoIterator<Item = u64>) -> FxHashMap<u64, u64> {
+    let mut counts = FxHashMap::default();
+    for k in sampled_keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Basic-S emission with combining: every `(x, s_j(x))` pair, sorted by key
+/// for determinism.
+pub fn emit_combined(counts: &FxHashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = counts.iter().map(|(&k, &c)| (k, c)).collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+/// Basic-S emission without combining: one `(x, 1)` pair per sampled
+/// record (what a naive mapper would do).
+pub fn emit_uncombined(counts: &FxHashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut keys: Vec<u64> = counts.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        for _ in 0..counts[&k] {
+            out.push((k, 1));
+        }
+    }
+    out
+}
+
+/// Reducer-side estimate: `v̂(x) = s(x)/p` where `s(x)` sums the received
+/// counts.
+pub fn estimate_v(total_sample_count: u64, p: f64) -> f64 {
+    assert!(p > 0.0, "sampling probability must be positive");
+    total_sample_count as f64 / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_aggregate() {
+        let c = local_counts([5, 5, 7, 5, 9]);
+        assert_eq!(c[&5], 3);
+        assert_eq!(c[&7], 1);
+        assert_eq!(c[&9], 1);
+    }
+
+    #[test]
+    fn combined_emission_is_sorted_and_complete() {
+        let c = local_counts([9, 5, 5, 7]);
+        let e = emit_combined(&c);
+        assert_eq!(e, vec![(5, 2), (7, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn uncombined_matches_total() {
+        let c = local_counts([1, 1, 1, 2]);
+        let e = emit_uncombined(&c);
+        assert_eq!(e.len(), 4);
+        assert!(e.iter().all(|&(_, v)| v == 1));
+    }
+
+    #[test]
+    fn estimate_scales_by_p() {
+        assert_eq!(estimate_v(50, 0.01), 5000.0);
+        assert_eq!(estimate_v(0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! CountSketch (Charikar–Chen–Farach-Colton): an unbiased linear estimator
+//! of any coordinate of a high-dimensional vector, with variance
+//! `‖v‖² / cols` per row and a median over rows for concentration.
+
+use crate::hash::PolyHash;
+
+/// A `rows × cols` CountSketch of a vector indexed by `u64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountSketch {
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    table: Vec<f64>,
+    bucket_hash: Vec<PolyHash>,
+    sign_hash: Vec<PolyHash>,
+}
+
+impl CountSketch {
+    /// Creates an empty sketch; sketches with equal `(rows, cols, seed)`
+    /// are mergeable.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows >= 1 && cols >= 1, "sketch must have positive dimensions");
+        let bucket_hash = (0..rows).map(|r| PolyHash::from_seed(seed, 2 * r as u64)).collect();
+        let sign_hash =
+            (0..rows).map(|r| PolyHash::from_seed(seed, 2 * r as u64 + 1)).collect();
+        Self { rows, cols, seed, table: vec![0.0; rows * cols], bucket_hash, sign_hash }
+    }
+
+    /// Rows (independent repetitions).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Buckets per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds `delta` to coordinate `item`.
+    #[inline]
+    pub fn update(&mut self, item: u64, delta: f64) {
+        for r in 0..self.rows {
+            let b = self.bucket_hash[r].bucket(item, self.cols as u64) as usize;
+            let s = self.sign_hash[r].sign(item);
+            self.table[r * self.cols + b] += s * delta;
+        }
+    }
+
+    /// Median-of-rows estimate of coordinate `item`.
+    pub fn estimate(&self, item: u64) -> f64 {
+        let mut per_row: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                let b = self.bucket_hash[r].bucket(item, self.cols as u64) as usize;
+                self.sign_hash[r].sign(item) * self.table[r * self.cols + b]
+            })
+            .collect();
+        median(&mut per_row)
+    }
+
+    /// Median-of-rows estimate of the sketched vector's squared L2 norm.
+    pub fn l2_squared_estimate(&self) -> f64 {
+        let mut per_row: Vec<f64> = (0..self.rows)
+            .map(|r| self.table[r * self.cols..(r + 1) * self.cols].iter().map(|x| x * x).sum())
+            .collect();
+        median(&mut per_row)
+    }
+
+    /// Adds `other` into `self` (linearity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions or seeds differ.
+    pub fn merge(&mut self, other: &CountSketch) {
+        assert_eq!(
+            (self.rows, self.cols, self.seed),
+            (other.rows, other.cols, other.seed),
+            "merging incompatible sketches"
+        );
+        for (a, b) in self.table.iter_mut().zip(&other.table) {
+            *a += b;
+        }
+    }
+
+    /// Number of non-zero counters (what a mapper actually emits).
+    pub fn nonzero_counters(&self) -> usize {
+        self.table.iter().filter(|x| **x != 0.0).count()
+    }
+
+    /// Total counters.
+    pub fn total_counters(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Raw table access for wire-size computations.
+    pub fn counters(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Iterates over non-zero counters as `(index, value)` pairs — what a
+    /// mapper ships to the reducer.
+    pub fn counter_entries(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(i, &v)| (i as u64, v))
+    }
+
+    /// Adds `value` to counter `index` (merging shipped counters into a
+    /// fresh sketch with identical parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn add_counter(&mut self, index: u64, value: f64) {
+        self.table[usize::try_from(index).expect("index fits")] += value;
+    }
+}
+
+/// In-place median (lower median for even lengths).
+pub(crate) fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mid = (values.len() - 1) / 2;
+    values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("no NaN"));
+    values[mid]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_single_item() {
+        let mut cs = CountSketch::new(5, 64, 1);
+        cs.update(42, 7.5);
+        assert_eq!(cs.estimate(42), 7.5);
+    }
+
+    #[test]
+    fn unbiased_ish_on_many_items() {
+        let mut cs = CountSketch::new(7, 256, 2);
+        // 200 items of weight 1, one heavy item of weight 100.
+        for i in 0..200 {
+            cs.update(i, 1.0);
+        }
+        cs.update(999, 100.0);
+        let est = cs.estimate(999);
+        assert!((est - 100.0).abs() < 15.0, "estimate {est}");
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountSketch::new(3, 32, 5);
+        let mut b = CountSketch::new(3, 32, 5);
+        let mut c = CountSketch::new(3, 32, 5);
+        for i in 0..50 {
+            a.update(i, i as f64);
+            c.update(i, i as f64);
+        }
+        for i in 25..75 {
+            b.update(i, 2.0);
+            c.update(i, 2.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.counters(), c.counters());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_mismatched_seeds_panics() {
+        let mut a = CountSketch::new(3, 32, 5);
+        let b = CountSketch::new(3, 32, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn l2_estimate_in_range() {
+        let mut cs = CountSketch::new(9, 512, 3);
+        let mut true_l2 = 0.0;
+        for i in 0..300u64 {
+            let w = ((i * 37) % 11) as f64 - 5.0;
+            cs.update(i, w);
+            true_l2 += w * w;
+        }
+        let est = cs.l2_squared_estimate();
+        assert!(
+            (est - true_l2).abs() < 0.35 * true_l2,
+            "l2 estimate {est} vs true {true_l2}"
+        );
+    }
+
+    #[test]
+    fn negative_updates_cancel() {
+        let mut cs = CountSketch::new(3, 16, 4);
+        cs.update(5, 10.0);
+        cs.update(5, -10.0);
+        assert_eq!(cs.estimate(5), 0.0);
+        assert_eq!(cs.nonzero_counters(), 0);
+    }
+
+    #[test]
+    fn median_lower_of_even() {
+        let mut v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&mut v), 2.0);
+        let mut v = [3.0, 1.0, 2.0];
+        assert_eq!(median(&mut v), 2.0);
+    }
+}

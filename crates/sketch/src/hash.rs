@@ -1,0 +1,150 @@
+//! 4-wise independent hashing over the Mersenne prime `p = 2^61 − 1`.
+//!
+//! CountSketch's variance analysis needs 4-wise independence for the sign
+//! hash; degree-3 polynomials over a prime field provide it. Arithmetic
+//! mod `2^61 − 1` reduces with shifts instead of division, so a hash costs
+//! three multiply-reduce steps.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// `a*b mod (2^61−1)` via 128-bit arithmetic and Mersenne folding.
+#[inline]
+pub fn mulmod(a: u64, b: u64) -> u64 {
+    let prod = (a as u128) * (b as u128);
+    let lo = (prod & MERSENNE_P as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// `a+b mod (2^61−1)`.
+#[inline]
+pub fn addmod(a: u64, b: u64) -> u64 {
+    let mut s = a + b; // both < 2^61, no overflow in u64
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// A degree-3 polynomial hash: 4-wise independent over `[0, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyHash {
+    coeffs: [u64; 4],
+}
+
+impl PolyHash {
+    /// Derives a hash function deterministically from `(seed, salt)`.
+    /// Different salts give independent functions; identical inputs give
+    /// identical functions — required for sketch mergeability.
+    pub fn from_seed(seed: u64, salt: u64) -> Self {
+        let mut coeffs = [0u64; 4];
+        let mut state = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for (d, c) in coeffs.iter_mut().enumerate() {
+            // SplitMix-style expansion, reduced into the field.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state ^ (d as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *c = z % MERSENNE_P;
+        }
+        // Leading coefficient must be non-zero for full independence.
+        if coeffs[3] == 0 {
+            coeffs[3] = 1;
+        }
+        Self { coeffs }
+    }
+
+    /// Evaluates the polynomial at `x` (Horner), returning a value in
+    /// `[0, p)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = self.coeffs[3];
+        for &c in self.coeffs[..3].iter().rev() {
+            acc = addmod(mulmod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Bucket index in `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, x: u64, buckets: u64) -> u64 {
+        self.eval(x) % buckets
+    }
+
+    /// ±1 sign.
+    #[inline]
+    pub fn sign(&self, x: u64) -> f64 {
+        if self.eval(x) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulmod_small_cases() {
+        assert_eq!(mulmod(3, 4), 12);
+        assert_eq!(mulmod(MERSENNE_P - 1, 1), MERSENNE_P - 1);
+        assert_eq!(mulmod(MERSENNE_P, 5), 0);
+        // (p-1)² mod p = 1.
+        assert_eq!(mulmod(MERSENNE_P - 1, MERSENNE_P - 1), 1);
+    }
+
+    #[test]
+    fn addmod_wraps() {
+        assert_eq!(addmod(MERSENNE_P - 1, 2), 1);
+        assert_eq!(addmod(1, 2), 3);
+    }
+
+    #[test]
+    fn deterministic_and_salt_sensitive() {
+        let a = PolyHash::from_seed(7, 0);
+        let b = PolyHash::from_seed(7, 0);
+        let c = PolyHash::from_seed(7, 1);
+        assert_eq!(a, b);
+        assert_ne!(a.eval(123), c.eval(123));
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = PolyHash::from_seed(42, 3);
+        let buckets = 16u64;
+        let mut counts = vec![0u32; buckets as usize];
+        let n = 64_000;
+        for x in 0..n {
+            counts[h.bucket(x, buckets) as usize] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 0.1 * expect,
+                "bucket {b}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_roughly_balanced_and_pairwise_uncorrelated() {
+        let h = PolyHash::from_seed(9, 1);
+        let n = 50_000i64;
+        let sum: i64 = (0..n as u64).map(|x| if h.sign(x) > 0.0 { 1 } else { -1 }).sum();
+        assert!(sum.abs() < 1000, "sign bias {sum}");
+        // Correlation of sign(x) with sign(x+1).
+        let corr: i64 = (0..(n - 1) as u64)
+            .map(|x| if h.sign(x) == h.sign(x + 1) { 1 } else { -1 })
+            .sum();
+        assert!(corr.abs() < 1200, "adjacent sign correlation {corr}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Classic TPUT (Cao & Wang, PODC'04): exact three-phase distributed top-k
+//! for **non-negative** scores.
+//!
+//! Included as the reference point the paper starts from. Phase 1 collects
+//! each node's local top-k and establishes a phase-1 threshold `τ` from
+//! partial sums; phase 2 fetches everything above `τ/m` and prunes; phase 3
+//! resolves the survivors exactly. The partial-sum pruning is only sound
+//! when unseen scores are ≥ 0 — the limitation the two-sided variant
+//! removes.
+
+use crate::node::ScoreNode;
+use wh_wavelet::hash::{FxHashMap, FxHashSet};
+
+/// Per-round communication of a TPUT-style run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TputComm {
+    /// `(item, score)` pairs uploaded to the coordinator per round.
+    pub pairs_per_round: Vec<u64>,
+    /// Item ids broadcast to nodes (thresholds are O(1) and ignored).
+    pub broadcast_items: u64,
+}
+
+impl TputComm {
+    /// Total uploaded pairs.
+    pub fn total_pairs(&self) -> u64 {
+        self.pairs_per_round.iter().sum()
+    }
+}
+
+/// Result of a TPUT run.
+#[derive(Debug, Clone)]
+pub struct TputResult {
+    /// The k items of largest aggregated score, descending.
+    pub topk: Vec<(u64, f64)>,
+    /// Communication accounting.
+    pub comm: TputComm,
+}
+
+/// Runs classic TPUT against `nodes`.
+///
+/// # Panics
+///
+/// Panics when any node reports a negative score — classic TPUT's
+/// correctness contract.
+pub fn tput_topk<N: ScoreNode>(nodes: &[N], k: usize) -> TputResult {
+    let m = nodes.len();
+    let mut comm = TputComm::default();
+    if m == 0 || k == 0 {
+        return TputResult { topk: Vec::new(), comm };
+    }
+
+    // ---- Phase 1: local top-k, partial sums. ----
+    let mut partial: FxHashMap<u64, f64> = FxHashMap::default();
+    let mut seen: FxHashMap<u64, FxHashSet<usize>> = FxHashMap::default();
+    let mut round1 = 0u64;
+    for (j, node) in nodes.iter().enumerate() {
+        for (item, score) in node.top_k(k) {
+            assert!(score >= 0.0, "classic TPUT requires non-negative scores");
+            *partial.entry(item).or_insert(0.0) += score;
+            seen.entry(item).or_default().insert(j);
+            round1 += 1;
+        }
+    }
+    comm.pairs_per_round.push(round1);
+
+    // Phase-1 threshold: k-th largest partial sum (0 when fewer than k).
+    let t1 = kth_largest(partial.values().copied(), k).max(0.0);
+
+    // ---- Phase 2: fetch everything above t1/m. ----
+    let mut round2 = 0u64;
+    let tau = t1 / m as f64;
+    for (j, node) in nodes.iter().enumerate() {
+        for (item, score) in node.items_above(tau) {
+            let seen_j = seen.entry(item).or_default();
+            if seen_j.contains(&j) {
+                continue; // sent in phase 1
+            }
+            *partial.entry(item).or_insert(0.0) += score;
+            seen_j.insert(j);
+            round2 += 1;
+        }
+    }
+    comm.pairs_per_round.push(round2);
+
+    // Refined threshold and pruning: upper bound = partial + unseen·t1/m.
+    let t2 = kth_largest(partial.values().copied(), k).max(0.0);
+    let candidates: Vec<u64> = partial
+        .iter()
+        .filter(|(item, &p)| {
+            let unseen = m - seen.get(*item).map_or(0, FxHashSet::len);
+            p + unseen as f64 * tau >= t2
+        })
+        .map(|(&item, _)| item)
+        .collect();
+
+    // ---- Phase 3: resolve candidates exactly. ----
+    // Partial sums already hold every contribution received in phases 1–2;
+    // each node only sends scores it has not sent before.
+    comm.broadcast_items += candidates.len() as u64;
+    let mut round3 = 0u64;
+    let mut exact: FxHashMap<u64, f64> = candidates
+        .iter()
+        .map(|&item| (item, partial.get(&item).copied().unwrap_or(0.0)))
+        .collect();
+    for (j, node) in nodes.iter().enumerate() {
+        for &item in &candidates {
+            if seen.get(&item).is_some_and(|s| s.contains(&j)) {
+                continue; // already counted, nothing resent
+            }
+            let s = node.score(item);
+            if s != 0.0 {
+                round3 += 1;
+                *exact.get_mut(&item).expect("candidate present") += s;
+            }
+        }
+    }
+    comm.pairs_per_round.push(round3);
+
+    let mut topk: Vec<(u64, f64)> = exact.into_iter().collect();
+    topk.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("no NaN scores").then_with(|| a.0.cmp(&b.0))
+    });
+    topk.truncate(k);
+    TputResult { topk, comm }
+}
+
+/// The k-th largest of an iterator (−∞ when fewer than k values).
+fn kth_largest(values: impl Iterator<Item = f64>, k: usize) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.len() < k || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN scores"));
+    v[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::topk_by_value;
+    use crate::node::InMemoryNode;
+    use wh_wavelet::hash::FxHashMap;
+
+    fn make_nodes(seed: u64, m: usize, items: u64) -> Vec<InMemoryNode> {
+        // Deterministic pseudo-random non-negative scores.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..m)
+            .map(|_| {
+                let pairs: Vec<(u64, f64)> = (0..items)
+                    .filter_map(|i| {
+                        let r = next();
+                        (r % 3 == 0).then_some((i, (r % 1000) as f64))
+                    })
+                    .collect();
+                InMemoryNode::new(pairs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        for seed in 1..6u64 {
+            let nodes = make_nodes(seed, 5, 40);
+            let got = tput_topk(&nodes, 10).topk;
+            let want = topk_by_value(&nodes, 10);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_one() {
+        let nodes = make_nodes(9, 3, 20);
+        let got = tput_topk(&nodes, 1).topk;
+        assert_eq!(got, topk_by_value(&nodes, 1));
+    }
+
+    #[test]
+    fn k_larger_than_universe() {
+        let nodes = vec![InMemoryNode::new([(1, 1.0), (2, 2.0)])];
+        let got = tput_topk(&nodes, 10).topk;
+        assert_eq!(got, vec![(2, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn communication_less_than_send_all() {
+        // With concentrated scores, TPUT should move far fewer pairs than
+        // shipping every local score.
+        let m = 20;
+        let mut nodes = Vec::new();
+        for j in 0..m {
+            let mut pairs: Vec<(u64, f64)> = (0..500u64).map(|i| (i, 1.0)).collect();
+            pairs.push((1000 + j as u64 % 3, 10_000.0));
+            nodes.push(InMemoryNode::new(pairs));
+        }
+        let result = tput_topk(&nodes, 3);
+        let send_all: u64 = nodes.iter().map(|n| n.len() as u64).sum();
+        assert!(result.comm.total_pairs() < send_all / 4,
+            "tput {} vs send-all {send_all}", result.comm.total_pairs());
+        assert_eq!(result.topk.len(), 3);
+        assert_eq!(result.topk, topk_by_value(&nodes, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scores_rejected() {
+        let nodes = vec![InMemoryNode::new([(1, -1.0)])];
+        tput_topk(&nodes, 1);
+    }
+
+    #[test]
+    fn empty_nodes() {
+        let nodes: Vec<InMemoryNode> = vec![];
+        assert!(tput_topk(&nodes, 5).topk.is_empty());
+        let nodes = vec![InMemoryNode::default(), InMemoryNode::default()];
+        assert!(tput_topk(&nodes, 5).topk.is_empty());
+    }
+
+    #[test]
+    fn heavy_tail_stress_matches_reference() {
+        // Larger randomized instance.
+        let nodes = make_nodes(0xabcdef, 12, 300);
+        let got = tput_topk(&nodes, 25).topk;
+        let want = topk_by_value(&nodes, 25);
+        let to_map = |v: &[(u64, f64)]| -> FxHashMap<u64, f64> { v.iter().copied().collect() };
+        // Ties may reorder equal scores; compare as maps of score sets.
+        assert_eq!(to_map(&got).len(), to_map(&want).len());
+        let min_got = got.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let min_want = want.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        assert_eq!(min_got, min_want);
+        for (i, s) in &want {
+            if *s > min_want {
+                assert_eq!(to_map(&got).get(i), Some(s));
+            }
+        }
+    }
+}

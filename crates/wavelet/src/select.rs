@@ -1,0 +1,273 @@
+//! Top-k selection by coefficient magnitude.
+//!
+//! Selecting the k coefficients of largest |w| minimises energy loss among
+//! all k-term representations (§2.1). Selection is a single pass with a
+//! size-k min-heap: `O(N log k)` over N candidates. Ties in magnitude break
+//! towards the *lower slot* so every algorithm in the workspace returns the
+//! same histogram for the same input — important when comparing exact
+//! methods bit-for-bit in tests.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One retained coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoefEntry {
+    /// 0-based coefficient slot.
+    pub slot: u64,
+    /// Coefficient value (signed).
+    pub value: f64,
+}
+
+impl CoefEntry {
+    /// |value|.
+    #[inline]
+    pub fn magnitude(&self) -> f64 {
+        self.value.abs()
+    }
+}
+
+/// Heap adapter: orders entries so the heap *max* is the entry we want to
+/// evict first — smallest magnitude, then (on ties) the highest slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EvictFirst(CoefEntry);
+
+impl Eq for EvictFirst {}
+
+impl Ord for EvictFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Greater == evicted sooner. Smaller magnitude ⇒ greater.
+        other
+            .0
+            .magnitude()
+            .partial_cmp(&self.0.magnitude())
+            .expect("coefficient magnitudes must not be NaN")
+            .then_with(|| self.0.slot.cmp(&other.0.slot))
+    }
+}
+
+impl PartialOrd for EvictFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the `k` coefficients of largest magnitude from `(slot, value)`
+/// pairs. The result is sorted by descending magnitude (ties: ascending
+/// slot). Entries with `value == 0` are never retained.
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+pub fn top_k_magnitude(candidates: impl IntoIterator<Item = (u64, f64)>, k: usize) -> Vec<CoefEntry> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<EvictFirst> = BinaryHeap::with_capacity(k + 1);
+    for (slot, value) in candidates {
+        assert!(!value.is_nan(), "NaN coefficient at slot {slot}");
+        if value == 0.0 {
+            continue;
+        }
+        let entry = EvictFirst(CoefEntry { slot, value });
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    let mut out: Vec<CoefEntry> = heap.into_iter().map(|e| e.0).collect();
+    sort_by_magnitude(&mut out);
+    out
+}
+
+/// Sorts entries by descending magnitude, ties by ascending slot.
+pub fn sort_by_magnitude(entries: &mut [CoefEntry]) {
+    entries.sort_by(|a, b| {
+        b.magnitude()
+            .partial_cmp(&a.magnitude())
+            .expect("coefficient magnitudes must not be NaN")
+            .then_with(|| a.slot.cmp(&b.slot))
+    });
+}
+
+/// A bounded pair of priority queues tracking the k highest and k lowest
+/// *signed* values seen — the per-split bookkeeping H-WTopk's mappers keep
+/// while streaming coefficients (Appendix A).
+#[derive(Debug, Clone)]
+pub struct TopBottomK {
+    k: usize,
+    // Min-heap of the k largest (peek = smallest of them).
+    top: BinaryHeap<std::cmp::Reverse<SignedEntry>>,
+    // Max-heap of the k smallest (peek = largest of them).
+    bottom: BinaryHeap<SignedEntry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SignedEntry {
+    value: f64,
+    slot: u64,
+}
+
+impl Eq for SignedEntry {}
+
+impl Ord for SignedEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value
+            .partial_cmp(&other.value)
+            .expect("values must not be NaN")
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
+impl PartialOrd for SignedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopBottomK {
+    /// Creates empty queues of capacity `k` each.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            top: BinaryHeap::with_capacity(k + 1),
+            bottom: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one `(slot, value)` observation.
+    pub fn offer(&mut self, slot: u64, value: f64) {
+        assert!(!value.is_nan(), "NaN value at slot {slot}");
+        if self.k == 0 {
+            return;
+        }
+        let e = SignedEntry { value, slot };
+        if self.top.len() < self.k {
+            self.top.push(std::cmp::Reverse(e));
+        } else if e > self.top.peek().expect("non-empty").0 {
+            self.top.pop();
+            self.top.push(std::cmp::Reverse(e));
+        }
+        if self.bottom.len() < self.k {
+            self.bottom.push(e);
+        } else if e < *self.bottom.peek().expect("non-empty") {
+            self.bottom.pop();
+            self.bottom.push(e);
+        }
+    }
+
+    /// The k highest values, sorted descending.
+    pub fn top(&self) -> Vec<CoefEntry> {
+        let mut v: Vec<CoefEntry> = self
+            .top
+            .iter()
+            .map(|r| CoefEntry { slot: r.0.slot, value: r.0.value })
+            .collect();
+        v.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("no NaN").then(a.slot.cmp(&b.slot)));
+        v
+    }
+
+    /// The k lowest values, sorted ascending.
+    pub fn bottom(&self) -> Vec<CoefEntry> {
+        let mut v: Vec<CoefEntry> = self
+            .bottom
+            .iter()
+            .map(|e| CoefEntry { slot: e.slot, value: e.value })
+            .collect();
+        v.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("no NaN").then(a.slot.cmp(&b.slot)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_magnitudes() {
+        let c = [(0u64, 1.0), (1, -10.0), (2, 5.0), (3, -0.5), (4, 7.0)];
+        let top = top_k_magnitude(c.iter().copied(), 3);
+        let slots: Vec<u64> = top.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![1, 4, 2]);
+        assert_eq!(top[0].value, -10.0);
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_slot() {
+        let c = [(5u64, 2.0), (1, -2.0), (9, 2.0), (0, 1.0)];
+        let top = top_k_magnitude(c.iter().copied(), 2);
+        let slots: Vec<u64> = top.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![1, 5]);
+    }
+
+    #[test]
+    fn k_zero_and_k_larger_than_input() {
+        assert!(top_k_magnitude([(0u64, 1.0)].iter().copied(), 0).is_empty());
+        let top = top_k_magnitude([(0u64, 1.0), (1, 2.0)].iter().copied(), 10);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let top = top_k_magnitude([(0u64, 0.0), (1, 0.0), (2, 3.0)].iter().copied(), 5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].slot, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        top_k_magnitude([(0u64, f64::NAN)].iter().copied(), 1);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let vals: Vec<(u64, f64)> = (0..500u64)
+            .map(|i| (i, ((i * 2654435761) % 1000) as f64 - 500.0))
+            .collect();
+        let top = top_k_magnitude(vals.iter().copied(), 25);
+        let mut all: Vec<CoefEntry> = vals
+            .iter()
+            .filter(|(_, v)| *v != 0.0)
+            .map(|&(slot, value)| CoefEntry { slot, value })
+            .collect();
+        sort_by_magnitude(&mut all);
+        all.truncate(25);
+        assert_eq!(top.len(), all.len());
+        for (a, b) in top.iter().zip(&all) {
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn top_bottom_k_tracks_extremes() {
+        let mut tb = TopBottomK::new(2);
+        for (i, v) in [3.0, -7.0, 2.0, 9.0, -1.0, 5.0].iter().enumerate() {
+            tb.offer(i as u64, *v);
+        }
+        let top: Vec<f64> = tb.top().iter().map(|e| e.value).collect();
+        let bottom: Vec<f64> = tb.bottom().iter().map(|e| e.value).collect();
+        assert_eq!(top, vec![9.0, 5.0]);
+        assert_eq!(bottom, vec![-7.0, -1.0]);
+    }
+
+    #[test]
+    fn top_bottom_k_zero_capacity() {
+        let mut tb = TopBottomK::new(0);
+        tb.offer(0, 1.0);
+        assert!(tb.top().is_empty());
+        assert!(tb.bottom().is_empty());
+    }
+
+    #[test]
+    fn top_bottom_overlap_when_fewer_than_k() {
+        let mut tb = TopBottomK::new(5);
+        tb.offer(0, 1.0);
+        tb.offer(1, 2.0);
+        assert_eq!(tb.top().len(), 2);
+        assert_eq!(tb.bottom().len(), 2);
+    }
+}

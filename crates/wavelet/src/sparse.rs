@@ -1,0 +1,168 @@
+//! Sparse Haar transform: `O(N · log u)` over the non-zero entries.
+//!
+//! A frequency vector with `N = |v_j|` distinct keys has at most
+//! `N·(log u + 1)` non-zero wavelet coefficients (each key only touches the
+//! root-to-leaf path above it). The paper's mappers exploit this
+//! (Appendix A): they run this algorithm instead of the dense `O(u)` pass,
+//! because a 256 MB split typically has `|v_j| ≪ u`.
+//!
+//! [`coefficient_updates`] is the single-key primitive; it is also reused by
+//! the sketching crate, which must translate every key update into the same
+//! `log u + 1` coefficient-space updates.
+
+use crate::hash::FxHashMap;
+use crate::Domain;
+
+/// Sparse coefficient vector: slot (0-based) → coefficient value.
+pub type SparseCoefs = FxHashMap<u64, f64>;
+
+/// Calls `emit(slot, delta)` for every wavelet coefficient affected by
+/// adding `weight` occurrences of the (0-based) key `x`.
+///
+/// Exactly `log u + 1` updates are emitted: the overall average (slot 0)
+/// plus one detail per level. For the detail at level `j` (block size
+/// `B = u/2^j`) the contribution is `±weight/√B`: negative when `x` falls in
+/// the left half of the block, positive in the right half — the sign
+/// convention of the paper's basis vectors (Fig. 2).
+///
+/// # Panics
+///
+/// Debug-panics when `x` is outside the domain.
+#[inline]
+pub fn coefficient_updates(domain: Domain, x: u64, weight: f64, mut emit: impl FnMut(u64, f64)) {
+    debug_assert!(domain.contains(x), "key {x} outside {domain}");
+    let log_u = domain.log_u();
+    // Overall average: ψ₁ = 1/√u everywhere.
+    emit(0, weight / domain.u_f64().sqrt());
+    for j in 0..log_u {
+        let block_log = log_u - j; // log₂ of the block size at level j
+        let k = x >> block_log;
+        let slot = (1u64 << j) + k;
+        // Position within the block decides the sign.
+        let in_right_half = (x >> (block_log - 1)) & 1 == 1;
+        let scale = 1.0 / ((1u64 << block_log) as f64).sqrt();
+        let delta = if in_right_half { weight * scale } else { -(weight * scale) };
+        emit(slot, delta);
+    }
+}
+
+/// Computes all non-zero coefficients of the sparse frequency vector given
+/// by `(key, count)` pairs. Keys may repeat; counts accumulate.
+///
+/// Time `O(N·log u)`, memory `O(N·log u)` for the output map.
+pub fn sparse_transform<I>(domain: Domain, entries: I) -> SparseCoefs
+where
+    I: IntoIterator<Item = (u64, f64)>,
+{
+    let mut coefs = SparseCoefs::default();
+    for (x, c) in entries {
+        coefficient_updates(domain, x, c, |slot, delta| {
+            *coefs.entry(slot).or_insert(0.0) += delta;
+        });
+    }
+    // Cancellation can leave exact or near-exact zeros; keep them — callers
+    // that care about wire size filter on magnitude themselves. We only drop
+    // *exact* zeros, which cost space and carry no information.
+    coefs.retain(|_, v| *v != 0.0);
+    coefs
+}
+
+/// Densifies a sparse coefficient map into a full vector of length `u`.
+///
+/// Intended for tests, SSE evaluation and small-u reconstruction; for large
+/// `u` prefer [`crate::tree::ErrorTree`].
+pub fn densify(domain: Domain, coefs: &SparseCoefs) -> Vec<f64> {
+    let mut w = vec![0.0; domain.u() as usize];
+    for (&slot, &val) in coefs {
+        w[slot as usize] = val;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::forward;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn dense_from_pairs(u: usize, pairs: &[(u64, f64)]) -> Vec<f64> {
+        let mut v = vec![0.0; u];
+        for &(x, c) in pairs {
+            v[x as usize] += c;
+        }
+        v
+    }
+
+    #[test]
+    fn matches_dense_transform() {
+        let domain = Domain::new(6).unwrap();
+        let pairs = [(0u64, 3.0), (5, 1.0), (5, 2.0), (31, 7.0), (32, 4.0), (63, 1.0)];
+        let sparse = sparse_transform(domain, pairs.iter().copied());
+        let dense = forward(&dense_from_pairs(64, &pairs));
+        for (slot, val) in dense.iter().enumerate() {
+            let got = sparse.get(&(slot as u64)).copied().unwrap_or(0.0);
+            assert!(close(*val, got), "slot {slot}: dense {val} sparse {got}");
+        }
+    }
+
+    #[test]
+    fn update_count_is_log_u_plus_one() {
+        let domain = Domain::new(12).unwrap();
+        let mut n = 0;
+        coefficient_updates(domain, 999, 1.0, |_, _| n += 1);
+        assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn single_key_path_slots() {
+        // Key 5 in u=8 (binary 101): level-0 block k=0 (right half since bit2=1),
+        // level-1 block k=1 (left half: bit1=0), level-2 block k=2 (right: bit0=1).
+        let domain = Domain::new(3).unwrap();
+        let mut got = Vec::new();
+        coefficient_updates(domain, 5, 1.0, |s, d| got.push((s, d)));
+        let slots: Vec<u64> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, vec![0, 1, 3, 6]);
+        assert!(got[1].1 > 0.0); // right half at level 0
+        assert!(got[2].1 < 0.0); // left half at level 1
+        assert!(got[3].1 > 0.0); // right half at level 2
+    }
+
+    #[test]
+    fn cancellation_prunes_exact_zeros() {
+        // Two equal keys in sibling positions cancel their shared leaf detail.
+        let domain = Domain::new(4).unwrap();
+        let coefs = sparse_transform(domain, [(2u64, 1.0), (3u64, 1.0)]);
+        // Leaf detail for the pair (2,3): slot 8 + 1 = 9 must be gone.
+        assert!(!coefs.contains_key(&9));
+        assert!(coefs.contains_key(&0));
+    }
+
+    #[test]
+    fn densify_roundtrip() {
+        let domain = Domain::new(5).unwrap();
+        let pairs = [(1u64, 2.0), (17, 5.0)];
+        let coefs = sparse_transform(domain, pairs.iter().copied());
+        let dense = densify(domain, &coefs);
+        let expect = forward(&dense_from_pairs(32, &pairs));
+        for i in 0..32 {
+            assert!(close(dense[i], expect[i]));
+        }
+    }
+
+    #[test]
+    fn linearity_of_sparse_transform() {
+        let domain = Domain::new(8).unwrap();
+        let a = [(3u64, 1.0), (100, 2.0)];
+        let b = [(3u64, 4.0), (200, 1.0)];
+        let wa = sparse_transform(domain, a.iter().copied());
+        let wb = sparse_transform(domain, b.iter().copied());
+        let wab = sparse_transform(domain, a.iter().chain(b.iter()).copied());
+        for (slot, v) in &wab {
+            let s = wa.get(slot).copied().unwrap_or(0.0) + wb.get(slot).copied().unwrap_or(0.0);
+            assert!(close(*v, s));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a wavelet histogram of a 4M-record Zipf dataset with
+//! the exact baseline, the paper's exact algorithm, and the paper's
+//! sampling algorithm, then compare cost and quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wavelet_hist::builders::{HWTopk, HistogramBuilder, SendV, TwoLevelS};
+use wavelet_hist::data::Dataset;
+use wavelet_hist::evaluate::Evaluator;
+use wavelet_hist::mapreduce::metrics::human_bytes;
+use wavelet_hist::mapreduce::ClusterConfig;
+
+fn main() {
+    // A Zipf(1.1) dataset: 2^22 records over the domain [2^18], stored as
+    // 64 splits — the scaled default of the experiment harness.
+    let dataset = Dataset::zipf(18, 1.1, 1 << 22, 64);
+    let cluster = ClusterConfig::paper_cluster();
+    let k = 30;
+
+    println!(
+        "dataset: n={} records over {} in {} splits ({})",
+        dataset.num_records(),
+        dataset.domain(),
+        dataset.num_splits(),
+        human_bytes(dataset.total_bytes()),
+    );
+
+    // Ground truth for quality evaluation (one centralized scan).
+    let eval = Evaluator::new(&dataset);
+    println!("ideal SSE at k={k}: {:.3e}\n", eval.ideal_sse(k));
+
+    let builders: Vec<Box<dyn HistogramBuilder>> = vec![
+        Box::new(SendV::new()),
+        Box::new(HWTopk::new()),
+        Box::new(TwoLevelS::new(5e-3, 42)),
+    ];
+    println!(
+        "{:<12} {:>12} {:>10} {:>8} {:>12} {:>10}",
+        "algorithm", "comm", "time", "rounds", "SSE", "rel. SSE"
+    );
+    for b in builders {
+        let r = b.build(&dataset, &cluster, k);
+        println!(
+            "{:<12} {:>12} {:>9.1}s {:>8} {:>12.3e} {:>9.2}%",
+            b.name(),
+            human_bytes(r.metrics.total_comm_bytes()),
+            r.metrics.sim_time_s,
+            r.metrics.rounds,
+            eval.sse(&r.histogram),
+            100.0 * eval.relative_sse(&r.histogram),
+        );
+    }
+
+    // Use the histogram: estimate how many records fall in a key range.
+    let approx = TwoLevelS::new(5e-3, 42).build(&dataset, &cluster, k);
+    let lo = 0u64;
+    let hi = 1023u64;
+    println!(
+        "\nestimated records with key in [{lo}, {hi}]: {:.0}",
+        approx.histogram.range_sum(lo, hi)
+    );
+    let exact: f64 = {
+        let v = dataset.exact_frequency_vector();
+        v[lo as usize..=hi as usize].iter().map(|&c| c as f64).sum()
+    };
+    println!("exact answer:                              {exact:.0}");
+}

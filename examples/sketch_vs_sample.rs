@@ -1,0 +1,75 @@
+//! Sketch vs sample at matched accuracy — the comparison behind the
+//! paper's Fig. 9: for each quality level, how much communication and
+//! time does each approximation pay?
+//!
+//! ```text
+//! cargo run --release --example sketch_vs_sample
+//! ```
+
+use wavelet_hist::builders::{HistogramBuilder, SendSketch, SendSketchAms, TwoLevelS};
+use wavelet_hist::data::Dataset;
+use wavelet_hist::evaluate::Evaluator;
+use wavelet_hist::mapreduce::metrics::human_bytes;
+use wavelet_hist::mapreduce::ClusterConfig;
+use wavelet_hist::sketch::GcsParams;
+
+fn main() {
+    let dataset = Dataset::zipf(16, 1.1, 1 << 21, 32);
+    let cluster = ClusterConfig::paper_cluster();
+    let k = 30;
+    let eval = Evaluator::new(&dataset);
+    println!("ideal SSE at k={k}: {:.3e}\n", eval.ideal_sse(k));
+
+    println!(
+        "{:<28} {:>12} {:>10} {:>12} {:>12}",
+        "configuration", "comm", "time", "SSE", "scanned"
+    );
+
+    // TwoLevel-S across accuracy levels (ε controls the sample).
+    for eps in [2e-3f64, 8e-3, 3.2e-2] {
+        let r = TwoLevelS::new(eps, 5).build(&dataset, &cluster, k);
+        println!(
+            "{:<28} {:>12} {:>9.1}s {:>12.3e} {:>12}",
+            format!("TwoLevel-S eps={eps:.1e}"),
+            human_bytes(r.metrics.total_comm_bytes()),
+            r.metrics.sim_time_s,
+            eval.sse(&r.histogram),
+            r.metrics.records_scanned,
+        );
+    }
+
+    // Send-Sketch across space budgets (sketch size controls accuracy).
+    let domain = dataset.domain();
+    for frac in [0.25f64, 1.0, 4.0] {
+        let budget = (20.0 * 1024.0 * domain.log_u() as f64 * frac) as usize;
+        let params = GcsParams::with_budget(domain, 8, budget, 5);
+        let r = SendSketch::new(5).with_params(params).build(&dataset, &cluster, k);
+        println!(
+            "{:<28} {:>12} {:>9.1}s {:>12.3e} {:>12}",
+            format!("Send-Sketch space×{frac}"),
+            human_bytes(r.metrics.total_comm_bytes()),
+            r.metrics.sim_time_s,
+            eval.sse(&r.histogram),
+            r.metrics.records_scanned,
+        );
+    }
+
+    // The older AMS sketch at the default budget, for contrast: cheaper
+    // updates than GCS, but its extraction probes every coefficient.
+    let r = SendSketchAms::new(5).build(&dataset, &cluster, k);
+    println!(
+        "{:<28} {:>12} {:>9.1}s {:>12.3e} {:>12}",
+        "Send-Sketch (AMS)",
+        human_bytes(r.metrics.total_comm_bytes()),
+        r.metrics.sim_time_s,
+        eval.sse(&r.histogram),
+        r.metrics.records_scanned,
+    );
+
+    println!(
+        "\n→ the paper's Fig. 9 conclusion: at comparable SSE the sampler\n\
+         communicates orders of magnitude less and never scans the full\n\
+         dataset, while the sketch reads every record and ships dense\n\
+         counter arrays."
+    );
+}

@@ -1,0 +1,44 @@
+//! # wavelet-hist
+//!
+//! A from-scratch Rust reproduction of *Building Wavelet Histograms on
+//! Large Data in MapReduce* (Jestes, Yi, Li — PVLDB 5(2), 2011): exact
+//! (Send-V, Send-Coef, H-WTopk) and approximate (Basic-S, Improved-S,
+//! TwoLevel-S, Send-Sketch) construction of best-k-term Haar wavelet
+//! histograms over split-partitioned datasets, executed on a deterministic
+//! MapReduce runtime with exact communication accounting and a calibrated
+//! cluster cost model.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! paths. Start with [`builders`] and the `examples/` directory.
+//!
+//! ```
+//! use wavelet_hist::builders::{HistogramBuilder, TwoLevelS};
+//! use wavelet_hist::data::Dataset;
+//! use wavelet_hist::mapreduce::ClusterConfig;
+//!
+//! let dataset = Dataset::zipf(12, 1.1, 50_000, 8);
+//! let cluster = ClusterConfig::paper_cluster();
+//! let result = TwoLevelS::new(1e-2, 7).build(&dataset, &cluster, 16);
+//! println!("{} — {}", result.histogram.len(), result.metrics);
+//! ```
+
+/// Haar wavelet machinery (transforms, error tree, selection, SSE, 2-D).
+pub use wh_wavelet as wavelet;
+/// The MapReduce runtime and cluster cost model.
+pub use wh_mapreduce as mapreduce;
+/// Seeded dataset generators (Zipf, WorldCup-like, 2-D).
+pub use wh_data as data;
+/// Distributed top-k protocols (TPUT, two-sided TPUT).
+pub use wh_topk as topk;
+/// Linear sketches (CountSketch, GCS, AMS).
+pub use wh_sketch as sketch;
+/// The sampling algorithms (Basic-S, Improved-S, TwoLevel-S).
+pub use wh_sampling as sampling;
+
+/// The histogram builders.
+pub use wh_core::builders;
+/// SSE evaluation against exact ground truth.
+pub use wh_core::evaluate;
+/// Two-dimensional histograms.
+pub use wh_core::twod;
+pub use wh_core::{BuildResult, HistogramBuilder, WaveletHistogram};

@@ -1,0 +1,125 @@
+//! Cross-crate integration: the approximation algorithms' quality and
+//! cost relationships claimed in §4–§5 hold end-to-end.
+
+use wavelet_hist::builders::{
+    BasicS, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS,
+};
+use wavelet_hist::data::Dataset;
+use wavelet_hist::evaluate::Evaluator;
+use wavelet_hist::mapreduce::ClusterConfig;
+
+fn dataset() -> Dataset {
+    Dataset::zipf(12, 1.1, 1 << 18, 32)
+}
+
+const EPS: f64 = 0.01; // sample 1/ε² = 10k of 262k ≈ 3.8%
+
+#[test]
+fn approximations_all_cheaper_than_exact_baseline() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let sv = SendV::new().build(&ds, &cluster, 30);
+    // Basic-S is the weakest sampler (the paper replaces it with
+    // Improved-S as the default competitor), so it only gets a 5× bar.
+    for (factor, b) in [
+        (5u64, Box::new(BasicS::new(EPS, 3)) as Box<dyn HistogramBuilder>),
+        (10, Box::new(ImprovedS::new(EPS, 3))),
+        (10, Box::new(TwoLevelS::new(EPS, 3))),
+    ] {
+        let got = b.build(&ds, &cluster, 30);
+        assert!(
+            got.metrics.total_comm_bytes() * factor < sv.metrics.total_comm_bytes(),
+            "{}: comm {} vs Send-V {}",
+            b.name(),
+            got.metrics.total_comm_bytes(),
+            sv.metrics.total_comm_bytes()
+        );
+        assert!(got.metrics.records_scanned < ds.num_records() / 10, "{}", b.name());
+    }
+}
+
+#[test]
+fn sse_ordering_matches_paper() {
+    // Fig. 6's ordering at defaults: exact (ideal) ≤ TwoLevel ≤ Improved,
+    // with the sketch in between or near TwoLevel.
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let eval = Evaluator::new(&ds);
+    let k = 30;
+    let two = TwoLevelS::new(EPS, 11).build(&ds, &cluster, k);
+    let imp = ImprovedS::new(EPS, 11).build(&ds, &cluster, k);
+    let sse_two = eval.sse(&two.histogram);
+    let sse_imp = eval.sse(&imp.histogram);
+    let ideal = eval.ideal_sse(k);
+    assert!(sse_two >= ideal * 0.999);
+    assert!(
+        sse_two < sse_imp,
+        "TwoLevel {sse_two:.3e} should beat Improved {sse_imp:.3e}"
+    );
+}
+
+#[test]
+fn two_level_quality_improves_with_smaller_epsilon() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let eval = Evaluator::new(&ds);
+    // Average over seeds to damp sampling noise.
+    let avg_sse = |eps: f64| -> f64 {
+        (0..4)
+            .map(|s| {
+                let r = TwoLevelS::new(eps, 100 + s).build(&ds, &cluster, 30);
+                eval.sse(&r.histogram)
+            })
+            .sum::<f64>()
+            / 4.0
+    };
+    let fine = avg_sse(0.005);
+    let coarse = avg_sse(0.08);
+    assert!(
+        fine < coarse,
+        "SSE should improve with smaller ε: {fine:.3e} vs {coarse:.3e}"
+    );
+}
+
+#[test]
+fn communication_ordering_two_level_improved_basic() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let basic = BasicS::new(EPS, 5).build(&ds, &cluster, 30);
+    let imp = ImprovedS::new(EPS, 5).build(&ds, &cluster, 30);
+    let two = TwoLevelS::new(EPS, 5).build(&ds, &cluster, 30);
+    assert!(imp.metrics.shuffle_bytes <= basic.metrics.shuffle_bytes);
+    assert!(two.metrics.shuffle_bytes <= imp.metrics.shuffle_bytes);
+}
+
+#[test]
+fn sketch_is_scan_bound_and_cpu_heavy() {
+    let ds = Dataset::zipf(12, 1.1, 1 << 16, 8);
+    let cluster = ClusterConfig::paper_cluster();
+    let sk = SendSketch::new(2).build(&ds, &cluster, 20);
+    let two = TwoLevelS::new(0.02, 2).build(&ds, &cluster, 20);
+    assert_eq!(sk.metrics.records_scanned, ds.num_records());
+    assert!(sk.metrics.cpu_ops > 20.0 * two.metrics.cpu_ops);
+    assert!(sk.metrics.sim_time_s > two.metrics.sim_time_s);
+}
+
+#[test]
+fn worldcup_dataset_shows_same_ordering() {
+    // Fig. 17: the trends transfer from synthetic Zipf to the log-like
+    // dataset.
+    use wavelet_hist::data::{DatasetBuilder, Distribution};
+    use wavelet_hist::wavelet::Domain;
+    let ds = DatasetBuilder::new()
+        .domain(Domain::new(12).expect("valid"))
+        .distribution(Distribution::WorldCup)
+        .records(1 << 18)
+        .splits(32)
+        .record_bytes(40)
+        .seed(8)
+        .build();
+    let cluster = ClusterConfig::paper_cluster();
+    let sv = SendV::new().build(&ds, &cluster, 30);
+    let two = TwoLevelS::new(EPS, 8).build(&ds, &cluster, 30);
+    assert!(two.metrics.total_comm_bytes() * 10 < sv.metrics.total_comm_bytes());
+    assert!(two.metrics.sim_time_s <= sv.metrics.sim_time_s);
+}

@@ -1,0 +1,124 @@
+//! Property and integration tests of the MapReduce engine's accounting
+//! invariants — the measurements every experiment depends on.
+
+use proptest::prelude::*;
+use wavelet_hist::mapreduce::wire::WKey;
+use wavelet_hist::mapreduce::{
+    run_job, ClusterConfig, JobSpec, MapContext, MapTask, WireSize,
+};
+
+type Outputs = Vec<(u64, u64)>;
+
+fn count_job(splits: Vec<Vec<u64>>, combine: bool) -> (Outputs, wavelet_hist::mapreduce::RunMetrics) {
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .into_iter()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                ctx.note_read(keys.len() as u64, keys.len() as u64 * 4);
+                for k in &keys {
+                    ctx.emit(WKey::four(*k), 1);
+                }
+            })
+        })
+        .collect();
+    let reduce = Box::new(
+        |k: &WKey, vs: &[u64], ctx: &mut wavelet_hist::mapreduce::ReduceContext<(u64, u64)>| {
+            ctx.emit((k.id, vs.iter().sum()));
+        },
+    );
+    let mut spec = JobSpec::new("prop", tasks, reduce);
+    if combine {
+        spec = spec.with_combiner(|_k, vs: &mut Vec<u64>| {
+            let s: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(s);
+        });
+    }
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
+}
+
+fn splits_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..50, 0..80), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduce_totals_conserve_records(splits in splits_strategy()) {
+        let n: u64 = splits.iter().map(|s| s.len() as u64).sum();
+        let (outputs, metrics) = count_job(splits, false);
+        let total: u64 = outputs.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, n, "counts conserved through shuffle");
+        prop_assert_eq!(metrics.records_scanned, n);
+        prop_assert_eq!(metrics.map_output_pairs, n);
+        // Every pair is 4 B key + 8 B value.
+        prop_assert_eq!(metrics.shuffle_bytes, n * 12);
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_shrinks_comm(splits in splits_strategy()) {
+        let (mut plain, m_plain) = count_job(splits.clone(), false);
+        let (mut combined, m_combined) = count_job(splits, true);
+        plain.sort_unstable();
+        combined.sort_unstable();
+        prop_assert_eq!(plain, combined, "combiner must not change the answer");
+        prop_assert!(m_combined.shuffle_bytes <= m_plain.shuffle_bytes);
+        prop_assert!(m_combined.map_output_pairs <= m_plain.map_output_pairs);
+    }
+
+    #[test]
+    fn engine_is_deterministic(splits in splits_strategy()) {
+        let (a, ma) = count_job(splits.clone(), true);
+        let (b, mb) = count_job(splits, true);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn sim_time_monotone_in_bandwidth(shuffle_mb in 1u64..200) {
+        let mk = |fraction: f64| {
+            let mut c = ClusterConfig::paper_cluster();
+            c.bandwidth_fraction = fraction;
+            wavelet_hist::mapreduce::cost::round_time(
+                &c,
+                &[],
+                wavelet_hist::mapreduce::cost::ReduceWork::default(),
+                shuffle_mb << 20,
+                0,
+            )
+        };
+        prop_assert!(mk(0.1) > mk(0.5));
+        prop_assert!(mk(0.5) > mk(1.0));
+    }
+}
+
+#[test]
+fn wire_sizes_of_workspace_payloads() {
+    use wavelet_hist::mapreduce::wire::Sized as WSized;
+    // The encodings the paper's accounting uses (§5 setup).
+    assert_eq!(WKey::four(7).wire_bytes(), 4); // 4-byte keys
+    assert_eq!(WSized::new(123u64, 4).wire_bytes(), 4); // 4-byte mapper counts
+    assert_eq!(1.5f64.wire_bytes(), 8); // 8-byte coefficients
+    assert_eq!((WKey::four(7), 1.5f64).wire_bytes(), 12); // Send-Coef pair
+}
+
+#[test]
+fn state_store_survives_rounds() {
+    use wavelet_hist::mapreduce::StateStore;
+    let store = StateStore::new();
+    // Round 1 writes per-split state from worker threads.
+    std::thread::scope(|s| {
+        for j in 0..16u32 {
+            let store = &store;
+            s.spawn(move || store.save(j, vec![(j as u64, 0.5f64)]));
+        }
+    });
+    // Round 2 reads it back.
+    for j in 0..16u32 {
+        let st: Vec<(u64, f64)> = store.take(j).expect("state persisted");
+        assert_eq!(st[0].0, j as u64);
+    }
+}

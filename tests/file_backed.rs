@@ -1,0 +1,88 @@
+//! Integration of the file-backed split readers (Appendix B) with the
+//! sampling machinery: materialise a dataset to disk, sample it through
+//! the RandomRecordReader, and check the statistics line up with the
+//! in-memory path.
+
+use std::path::PathBuf;
+
+use wavelet_hist::data::file::{
+    write_fixed, write_variable, FixedSplitReader, VariableSplitReader,
+};
+use wavelet_hist::data::Dataset;
+use wavelet_hist::sampling::SamplingConfig;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wh-file-integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+/// Materialises one split of a lazy dataset to a fixed-record file.
+fn materialise_split(ds: &Dataset, j: u32, name: &str, record_bytes: u32) -> PathBuf {
+    let path = tmp(name);
+    let keys: Vec<u64> = ds.scan_split(j).map(|r| r.key).collect();
+    write_fixed(&path, &keys, record_bytes).expect("write split");
+    path
+}
+
+#[test]
+fn file_scan_matches_lazy_scan() {
+    let ds = Dataset::zipf(10, 1.1, 20_000, 4);
+    let path = materialise_split(&ds, 2, "scan.bin", 16);
+    let mut reader = FixedSplitReader::open(&path, 16).expect("open");
+    let from_file = reader.scan().expect("scan");
+    let from_memory: Vec<u64> = ds.scan_split(2).map(|r| r.key).collect();
+    assert_eq!(from_file, from_memory);
+}
+
+#[test]
+fn file_sampler_draws_the_configured_fraction() {
+    let ds = Dataset::zipf(10, 1.1, 40_000, 4);
+    let path = materialise_split(&ds, 0, "fraction.bin", 16);
+    let mut reader = FixedSplitReader::open(&path, 16).expect("open");
+    let cfg = SamplingConfig::new(0.02, ds.num_splits(), ds.num_records());
+    let t_j = cfg.split_sample_size(reader.num_records());
+    let sample = reader.sample(t_j, 9).expect("sample");
+    assert_eq!(sample.keys.len() as u64, t_j);
+    // IO accounting: only the sampled records were read.
+    assert_eq!(sample.bytes_read, t_j * 16);
+    assert!(sample.bytes_read < reader.num_records() * 16 / 10);
+}
+
+#[test]
+fn file_sample_key_distribution_tracks_source() {
+    // The sampled keys' empirical head mass should be close to the file's.
+    let ds = Dataset::zipf(8, 1.4, 50_000, 2);
+    let path = materialise_split(&ds, 0, "dist.bin", 16);
+    let mut reader = FixedSplitReader::open(&path, 16).expect("open");
+    let all = reader.scan().expect("scan");
+    let head_mass =
+        all.iter().filter(|&&k| k < 8).count() as f64 / all.len() as f64;
+    let sample = reader.sample(4_000, 3).expect("sample");
+    let sample_head =
+        sample.keys.iter().filter(|&&k| k < 8).count() as f64 / sample.keys.len() as f64;
+    assert!(
+        (head_mass - sample_head).abs() < 0.05,
+        "head mass {head_mass:.3} vs sampled {sample_head:.3}"
+    );
+}
+
+#[test]
+fn variable_length_reader_handles_paper_remarks_layout() {
+    // Variable-length records with skew-dependent payloads, as the
+    // Appendix B remarks describe.
+    let keys: Vec<u64> = (0..3_000u64).map(|i| i % 300).collect();
+    let path = tmp("variable.bin");
+    write_variable(&path, &keys, |k| 10 + (k % 90) as u32).expect("write");
+    let mut reader = VariableSplitReader::open(&path).expect("open");
+    assert_eq!(reader.scan().expect("scan"), keys);
+    let sample = reader.sample(200, 17).expect("sample");
+    assert_eq!(sample.keys.len(), 200);
+    for k in &sample.keys {
+        assert!(*k < 300);
+    }
+    // Byte-offset sampling is length-biased per draw, but the reader
+    // never returns the same record twice.
+    let positions: std::collections::BTreeSet<u64> = sample.keys.iter().copied().collect();
+    assert!(positions.len() > 50, "sample should cover many distinct keys");
+}

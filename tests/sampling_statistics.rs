@@ -1,0 +1,108 @@
+//! End-to-end statistical tests of the sampling estimators, run through
+//! the full MapReduce pipeline (not just the unit-level emitters):
+//! Theorem 1's unbiasedness and the paper's communication theorems.
+
+use wavelet_hist::builders::{HistogramBuilder, ImprovedS, TwoLevelS};
+use wavelet_hist::data::Dataset;
+use wavelet_hist::mapreduce::ClusterConfig;
+
+#[test]
+fn two_level_full_pipeline_unbiased_in_expectation() {
+    // The total mass n is the cleanest observable: retained slot 0 (the
+    // overall-average coefficient) encodes Σ v̂(x)/√u. Average over seeds
+    // must approach n/√u.
+    let ds = Dataset::zipf(10, 1.1, 1 << 17, 16);
+    let cluster = ClusterConfig::paper_cluster();
+    let u_sqrt = 1024f64.sqrt();
+    let true_avg = (1 << 17) as f64 / u_sqrt;
+    let runs = 12;
+    let mut total = 0.0;
+    for seed in 0..runs {
+        let r = TwoLevelS::new(0.02, seed).build(&ds, &cluster, 64);
+        let avg = r
+            .histogram
+            .coefficient(0)
+            .expect("overall average is always a top coefficient on skewed data");
+        total += avg;
+    }
+    let mean = total / runs as f64;
+    assert!(
+        (mean - true_avg).abs() < 0.05 * true_avg,
+        "mean slot-0 {mean} vs true {true_avg}"
+    );
+}
+
+#[test]
+fn improved_s_is_biased_low() {
+    // Improved-S drops sub-threshold counts, so its slot-0 estimate sits
+    // systematically below the truth on low-skew data (where most sampled
+    // keys have small counts).
+    let ds = Dataset::zipf(10, 0.8, 1 << 17, 16);
+    let cluster = ClusterConfig::paper_cluster();
+    let u_sqrt = 1024f64.sqrt();
+    let true_avg = (1 << 17) as f64 / u_sqrt;
+    let runs = 8;
+    let mut total = 0.0;
+    for seed in 0..runs {
+        let r = ImprovedS::new(0.02, seed).build(&ds, &cluster, 64);
+        total += r.histogram.coefficient(0).unwrap_or(0.0);
+    }
+    let mean = total / runs as f64;
+    assert!(
+        mean < true_avg * 0.999,
+        "Improved-S should underestimate: mean {mean} vs true {true_avg}"
+    );
+}
+
+#[test]
+fn two_level_communication_theorem3_bound() {
+    // Expected emitted keys ≤ 2√m/ε; allow 50% slack for variance.
+    for (m, eps) in [(16u32, 0.02f64), (64, 0.01), (49, 0.03)] {
+        let ds = Dataset::zipf(12, 1.1, 1 << 18, m);
+        let cluster = ClusterConfig::paper_cluster();
+        let r = TwoLevelS::new(eps, 3).build(&ds, &cluster, 30);
+        let bound = 2.0 * (m as f64).sqrt() / eps * 1.5;
+        assert!(
+            (r.metrics.map_output_pairs as f64) < bound,
+            "m={m} eps={eps}: pairs {} vs bound {bound}",
+            r.metrics.map_output_pairs
+        );
+    }
+}
+
+#[test]
+fn improved_s_communication_bound() {
+    // At most m·(1/ε) pairs.
+    let m = 32u32;
+    let eps = 0.02;
+    let ds = Dataset::zipf(12, 1.1, 1 << 18, m);
+    let cluster = ClusterConfig::paper_cluster();
+    let r = ImprovedS::new(eps, 3).build(&ds, &cluster, 30);
+    let bound = m as f64 / eps;
+    assert!(
+        (r.metrics.map_output_pairs as f64) <= bound,
+        "pairs {} vs m/ε {bound}",
+        r.metrics.map_output_pairs
+    );
+}
+
+#[test]
+fn sqrt_m_separation_grows_with_m() {
+    // The heart of Theorem 3: TwoLevel's advantage over Improved widens
+    // as m grows (Fig. 10's widening gap). Use a low-skew dataset so
+    // Improved cannot hide behind heavy keys.
+    let eps = 0.01;
+    let cluster = ClusterConfig::paper_cluster();
+    let ratio = |m: u32| -> f64 {
+        let ds = Dataset::zipf(14, 0.8, 1 << 19, m);
+        let imp = ImprovedS::new(eps, 7).build(&ds, &cluster, 30);
+        let two = TwoLevelS::new(eps, 7).build(&ds, &cluster, 30);
+        imp.metrics.shuffle_bytes as f64 / two.metrics.shuffle_bytes.max(1) as f64
+    };
+    let r_small = ratio(8);
+    let r_large = ratio(128);
+    assert!(
+        r_large > r_small,
+        "advantage should widen with m: ratio(8)={r_small:.2} ratio(128)={r_large:.2}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on the wavelet substrate: the invariants every
+//! algorithm in the workspace leans on, checked over arbitrary signals.
+
+use proptest::prelude::*;
+use wavelet_hist::wavelet::{haar, sparse, sse, tree::ErrorTree, Domain};
+
+fn signal(log_u: u32) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1usize << log_u)
+}
+
+fn sparse_pairs(log_u: u32) -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec(
+        ((0u64..(1 << log_u)), 1.0f64..500.0).prop_map(|(k, c)| (k, c)),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_inverse_roundtrip(v in signal(6)) {
+        let w = haar::forward(&v);
+        let back = haar::inverse(&w);
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved(v in signal(5)) {
+        let w = haar::forward(&v);
+        let ev = sse::energy(&v);
+        let ew = sse::energy(&w);
+        prop_assert!((ev - ew).abs() < 1e-7 * (1.0 + ev));
+    }
+
+    #[test]
+    fn transform_is_linear(a in signal(5), b in signal(5)) {
+        let wa = haar::forward(&a);
+        let wb = haar::forward(&b);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ws = haar::forward(&sum);
+        for i in 0..32 {
+            prop_assert!((ws[i] - (wa[i] + wb[i])).abs() < 1e-8 * (1.0 + ws[i].abs()));
+        }
+    }
+
+    #[test]
+    fn sparse_transform_matches_dense(pairs in sparse_pairs(7)) {
+        let domain = Domain::new(7).expect("valid");
+        let coefs = sparse::sparse_transform(domain, pairs.iter().copied());
+        let mut v = vec![0.0f64; 128];
+        for &(k, c) in &pairs {
+            v[k as usize] += c;
+        }
+        let dense = haar::forward(&v);
+        for (slot, &want) in dense.iter().enumerate() {
+            let got = coefs.get(&(slot as u64)).copied().unwrap_or(0.0);
+            prop_assert!((got - want).abs() < 1e-8 * (1.0 + want.abs()),
+                "slot {slot}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn error_tree_point_queries_match_reconstruction(pairs in sparse_pairs(6), k in 1usize..20) {
+        let domain = Domain::new(6).expect("valid");
+        let coefs = sparse::sparse_transform(domain, pairs.iter().copied());
+        let top = wavelet_hist::wavelet::select::top_k_magnitude(coefs.into_iter(), k);
+        let tree = ErrorTree::new(domain, top.iter().map(|e| (e.slot, e.value)));
+        let recon = tree.reconstruct();
+        for x in 0..64u64 {
+            prop_assert!((tree.point_estimate(x) - recon[x as usize]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn range_sum_equals_sum_of_points(pairs in sparse_pairs(6), lo in 0u64..64, len in 0u64..64) {
+        let hi = (lo + len).min(63);
+        let domain = Domain::new(6).expect("valid");
+        let coefs = sparse::sparse_transform(domain, pairs.iter().copied());
+        let tree = ErrorTree::new(domain, coefs.into_iter());
+        let by_points: f64 = (lo..=hi).map(|x| tree.point_estimate(x)).sum();
+        let by_range = tree.range_sum(lo, hi);
+        prop_assert!((by_points - by_range).abs() < 1e-6 * (1.0 + by_points.abs()));
+    }
+
+    #[test]
+    fn top_k_is_optimal_energy_subset(v in signal(5), k in 1usize..32) {
+        let w = haar::forward(&v);
+        let top = wavelet_hist::wavelet::select::top_k_magnitude(
+            w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+        let retained_energy: f64 = top.iter().map(|e| e.value * e.value).sum();
+        // No other subset of size k retains more energy than the top-k by
+        // magnitude: compare against the sum of the k largest squares.
+        let mut sq: Vec<f64> = w.iter().map(|c| c * c).collect();
+        sq.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        let best: f64 = sq.iter().take(k).sum();
+        prop_assert!((retained_energy - best).abs() < 1e-7 * (1.0 + best));
+    }
+
+    #[test]
+    fn ideal_sse_plus_retained_energy_is_total(v in signal(5), k in 0usize..40) {
+        let w = haar::forward(&v);
+        let total = sse::energy(&w);
+        let ideal = sse::ideal_sse(&w, k);
+        let mut sq: Vec<f64> = w.iter().map(|c| c * c).collect();
+        sq.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        let retained: f64 = sq.iter().take(k).sum();
+        prop_assert!((ideal + retained - total).abs() < 1e-7 * (1.0 + total));
+    }
+}
+
+#[test]
+fn two_dimensional_roundtrip_property() {
+    // Deterministic sweep standing in for a 2-D proptest (dense 2-D is
+    // quadratic; keep it bounded).
+    use wavelet_hist::wavelet::twod;
+    let domain = Domain::new(4).expect("valid");
+    for seed in 0..8u64 {
+        let v: Vec<f64> = (0..256)
+            .map(|i| (((i as u64 + seed).wrapping_mul(2654435761)) % 97) as f64)
+            .collect();
+        let w = twod::forward2d(domain, &v);
+        let back = twod::inverse2d(domain, &w);
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        let ev: f64 = v.iter().map(|x| x * x).sum();
+        let ew: f64 = w.iter().map(|x| x * x).sum();
+        assert!((ev - ew).abs() < 1e-7 * ev.max(1.0));
+    }
+}
