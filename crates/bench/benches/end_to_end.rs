@@ -4,9 +4,7 @@
 //! figures harness reports).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wh_core::builders::{
-    HWTopk, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS,
-};
+use wh_core::builders::{HWTopk, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS};
 use wh_data::Dataset;
 use wh_mapreduce::ClusterConfig;
 
@@ -20,9 +18,14 @@ fn bench_builders(c: &mut Criterion) {
     let ds = dataset();
     let cluster = ClusterConfig::paper_cluster();
     let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    g.bench_function("send_v", |b| b.iter(|| SendV::new().build(&ds, &cluster, K)));
-    g.bench_function("h_wtopk", |b| b.iter(|| HWTopk::new().build(&ds, &cluster, K)));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("send_v", |b| {
+        b.iter(|| SendV::new().build(&ds, &cluster, K))
+    });
+    g.bench_function("h_wtopk", |b| {
+        b.iter(|| HWTopk::new().build(&ds, &cluster, K))
+    });
     g.bench_function("improved_s", |b| {
         b.iter(|| ImprovedS::new(1e-2, 7).build(&ds, &cluster, K))
     });

@@ -12,12 +12,15 @@ fn dense_signal(log_u: u32) -> Vec<f64> {
 
 fn sparse_entries(log_u: u32, nonzero: usize) -> Vec<(u64, f64)> {
     let u = 1u64 << log_u;
-    (0..nonzero as u64).map(|i| ((i * 2654435761) % u, (i % 100) as f64 + 1.0)).collect()
+    (0..nonzero as u64)
+        .map(|i| ((i * 2654435761) % u, (i % 100) as f64 + 1.0))
+        .collect()
 }
 
 fn bench_dense(c: &mut Criterion) {
     let mut g = c.benchmark_group("haar_dense");
-    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(4));
     for log_u in [12u32, 16, 20] {
         let v = dense_signal(log_u);
         g.throughput(Throughput::Elements(v.len() as u64));
@@ -34,7 +37,8 @@ fn bench_dense(c: &mut Criterion) {
 
 fn bench_sparse(c: &mut Criterion) {
     let mut g = c.benchmark_group("haar_sparse");
-    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(4));
     // Fixed 4k non-zero keys; domain grows — sparse cost grows as log u,
     // dense cost as u.
     for log_u in [12u32, 16, 20, 24] {

@@ -21,7 +21,9 @@ fn bench_emitters(c: &mut Criterion) {
     let mut g = c.benchmark_group("sampler_emit");
     g.throughput(Throughput::Elements(cs.len() as u64));
     g.bench_function("basic_combined", |b| b.iter(|| basic::emit_combined(&cs)));
-    g.bench_function("improved", |b| b.iter(|| improved::emit(&cs, cfg.epsilon, t_j)));
+    g.bench_function("improved", |b| {
+        b.iter(|| improved::emit(&cs, cfg.epsilon, t_j))
+    });
     g.bench_function("two_level", |b| {
         b.iter(|| {
             let mut rng = SplitMix64::new(9);
@@ -34,7 +36,8 @@ fn bench_emitters(c: &mut Criterion) {
 fn bench_first_level(c: &mut Criterion) {
     let ds = Dataset::zipf(18, 1.1, 1 << 20, 16);
     let mut g = c.benchmark_group("first_level_sample");
-    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(4));
     for frac in [100u64, 20, 5] {
         let nj = ds.split_meta(0).records;
         let count = nj / frac;
@@ -50,7 +53,8 @@ fn bench_full_scan(c: &mut Criterion) {
     let ds = Dataset::zipf(18, 1.1, 1 << 20, 16);
     let nj = ds.split_meta(0).records;
     let mut g = c.benchmark_group("split_scan");
-    g.sample_size(30).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(4));
     g.throughput(Throughput::Elements(nj));
     g.bench_function("scan_one_split", |b| {
         b.iter(|| ds.scan_split(0).map(|r| r.key).sum::<u64>())

@@ -16,7 +16,8 @@ fn bench_gcs_update(c: &mut Criterion) {
     let domain = Domain::new(LOG_U).expect("valid domain");
     let ks = keys(2000);
     let mut g = c.benchmark_group("gcs_update_per_branching");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4));
     g.throughput(Throughput::Elements(ks.len() as u64));
     for branching in [2usize, 4, 8, 16] {
         let params = GcsParams::with_budget(domain, branching, 20 * 1024 * LOG_U as usize, 7);
@@ -36,7 +37,8 @@ fn bench_gcs_update(c: &mut Criterion) {
 fn bench_gcs_query(c: &mut Criterion) {
     let domain = Domain::new(LOG_U).expect("valid domain");
     let mut g = c.benchmark_group("gcs_topk_per_branching");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4));
     for branching in [2usize, 4, 8, 16] {
         let params = GcsParams::with_budget(domain, branching, 20 * 1024 * LOG_U as usize, 7);
         let mut sk = GroupCountSketch::new(domain, params);
@@ -55,7 +57,8 @@ fn bench_ams(c: &mut Criterion) {
     let domain = Domain::new(LOG_U).expect("valid domain");
     let ks = keys(2000);
     let mut g = c.benchmark_group("ams");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4));
     g.bench_function("ams_update_2000_keys", |b| {
         b.iter(|| {
             let mut sk = AmsWaveletSketch::new(domain, 5, 2048, 3);
@@ -72,7 +75,9 @@ fn bench_ams(c: &mut Criterion) {
     for &k in &keys(2000) {
         sk.update_key(k & ((1 << 14) - 1), 1.0);
     }
-    g.bench_function("ams_exhaustive_topk_2e14", |b| b.iter(|| sk.topk_exhaustive(30)));
+    g.bench_function("ams_exhaustive_topk_2e14", |b| {
+        b.iter(|| sk.topk_exhaustive(30))
+    });
     g.finish();
 }
 

@@ -8,7 +8,9 @@ use wh_topk::two_sided::two_sided_topk;
 use wh_topk::InMemoryNode;
 
 fn lcg(seed: &mut u64) -> u64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *seed >> 33
 }
 
@@ -47,7 +49,8 @@ fn nonneg_nodes(m: usize, items: u64) -> Vec<InMemoryNode> {
 
 fn bench_two_sided(c: &mut Criterion) {
     let mut g = c.benchmark_group("two_sided_tput");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(4));
     for m in [8usize, 32, 128] {
         let nodes = signed_nodes(m, 4000);
         g.bench_with_input(BenchmarkId::from_parameter(m), &nodes, |b, n| {
@@ -64,7 +67,9 @@ fn bench_classic(c: &mut Criterion) {
 
 fn bench_brute_force(c: &mut Criterion) {
     let nodes = signed_nodes(32, 4000);
-    c.bench_function("brute_force_m32", |b| b.iter(|| topk_by_magnitude(&nodes, 30)));
+    c.bench_function("brute_force_m32", |b| {
+        b.iter(|| topk_by_magnitude(&nodes, 30))
+    });
 }
 
 criterion_group!(benches, bench_two_sided, bench_classic, bench_brute_force);

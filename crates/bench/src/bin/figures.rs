@@ -40,7 +40,12 @@ fn main() {
                 .unwrap_or_else(|| panic!("--{name} needs a numeric argument"))
         };
         match a.as_str() {
-            "--quick" => d = Defaults { seed: d.seed, ..Defaults::quick() },
+            "--quick" => {
+                d = Defaults {
+                    seed: d.seed,
+                    ..Defaults::quick()
+                }
+            }
             "--n" => d.n = next_f64("n") as u64,
             "--logu" => d.log_u = next_f64("logu") as u32,
             "--m" => d.m = next_f64("m") as u32,
@@ -76,7 +81,10 @@ fn main() {
         } else {
             figures::run(t, &d)
         };
-        println!("\n=== {t} ({:.1}s wall) ===", started.elapsed().as_secs_f64());
+        println!(
+            "\n=== {t} ({:.1}s wall) ===",
+            started.elapsed().as_secs_f64()
+        );
         print!("{}", table::render(&rows));
         if let Err(e) = table::write_csv(&out_dir, t, &rows) {
             eprintln!("warning: could not write {t}.csv: {e}");

@@ -16,8 +16,8 @@ use crate::table::Row;
 
 /// All known figure ids, in paper order.
 pub const ALL_FIGURES: [&str; 15] = [
-    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "fig19",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19",
 ];
 
 /// Dispatches a figure by id.
@@ -89,7 +89,16 @@ pub fn fig5(d: &Defaults) -> Vec<Row> {
     let builders = standard_builders(d);
     let mut rows = Vec::new();
     for k in [10usize, 20, 30, 40, 50] {
-        rows.extend(measure("fig5", &builders, &ds, &cluster, k, &format!("k={k}"), k as f64, None));
+        rows.extend(measure(
+            "fig5",
+            &builders,
+            &ds,
+            &cluster,
+            k,
+            &format!("k={k}"),
+            k as f64,
+            None,
+        ));
     }
     rows
 }
@@ -128,7 +137,10 @@ pub fn fig6(d: &Defaults) -> Vec<Row> {
 /// ε sweep used by Figs. 7–8 — scaled from the paper's 10⁻⁵..10⁻¹ so the
 /// sample stays a sane fraction of the scaled n.
 fn epsilon_sweep(d: &Defaults) -> Vec<f64> {
-    [0.25, 1.0, 4.0, 16.0, 64.0].iter().map(|f| d.epsilon * f).collect()
+    [0.25, 1.0, 4.0, 16.0, 64.0]
+        .iter()
+        .map(|f| d.epsilon * f)
+        .collect()
 }
 
 /// Fig. 7: SSE vs ε for the samplers (H-WTopk's ideal as reference).
@@ -153,7 +165,16 @@ pub fn fig7(d: &Defaults) -> Vec<Row> {
             Box::new(ImprovedS::new(eps, d.seed)),
             Box::new(TwoLevelS::new(eps, d.seed)),
         ];
-        rows.extend(measure("fig7", &builders, &ds, &cluster, d.k, &label, eps, Some(&eval)));
+        rows.extend(measure(
+            "fig7",
+            &builders,
+            &ds,
+            &cluster,
+            d.k,
+            &label,
+            eps,
+            Some(&eval),
+        ));
     }
     rows
 }
@@ -453,7 +474,9 @@ pub fn fig17(d: &Defaults) -> Vec<Row> {
     let ds = d.worldcup();
     let cluster = d.cluster();
     let builders = standard_builders(d);
-    measure("fig17", &builders, &ds, &cluster, d.k, "worldcup", 0.0, None)
+    measure(
+        "fig17", &builders, &ds, &cluster, d.k, "worldcup", 0.0, None,
+    )
 }
 
 /// Fig. 18: SSE on the WorldCup dataset.
@@ -462,8 +485,16 @@ pub fn fig18(d: &Defaults) -> Vec<Row> {
     let cluster = d.cluster();
     let eval = Evaluator::new(&ds);
     let builders = standard_builders(d);
-    let mut rows =
-        measure("fig18", &builders, &ds, &cluster, d.k, "worldcup", 0.0, Some(&eval));
+    let mut rows = measure(
+        "fig18",
+        &builders,
+        &ds,
+        &cluster,
+        d.k,
+        "worldcup",
+        0.0,
+        Some(&eval),
+    );
     rows.push(Row {
         figure: "fig18".into(),
         series: "Ideal-SSE".into(),

@@ -13,8 +13,8 @@
 //! paper-vs-measured comparison per figure.
 
 pub mod defaults;
-pub mod table;
 pub mod figures;
+pub mod table;
 
 pub use defaults::Defaults;
 pub use table::Row;

@@ -37,15 +37,13 @@ pub fn render(rows: &[Row]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(84));
     for r in rows {
-        let sse = r.sse.map_or_else(|| "-".to_string(), |s| format!("{s:.3e}"));
+        let sse = r
+            .sse
+            .map_or_else(|| "-".to_string(), |s| format!("{s:.3e}"));
         let _ = writeln!(
             out,
             "{:<22} {:>14} {:>16} {:>12.1} {:>14}",
-            r.series,
-            r.x_label,
-            r.comm_bytes,
-            r.time_s,
-            sse
+            r.series, r.x_label, r.comm_bytes, r.time_s, sse
         );
     }
     out

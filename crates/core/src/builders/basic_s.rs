@@ -31,7 +31,11 @@ pub struct BasicS {
 impl BasicS {
     /// Basic sampling with error parameter `ε` and a sampling seed.
     pub fn new(epsilon: f64, seed: u64) -> Self {
-        Self { epsilon, seed, combined: true }
+        Self {
+            epsilon,
+            seed,
+            combined: true,
+        }
     }
 
     /// Enables/disables the Combine aggregation (ablation).
@@ -82,7 +86,9 @@ impl HistogramBuilder for BasicS {
                   vals: &[WSized<u64>],
                   ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
                 ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-                s_reduce.lock().insert(key.id, vals.iter().map(|v| v.value).sum());
+                s_reduce
+                    .lock()
+                    .insert(key.id, vals.iter().map(|v| v.value).sum());
             },
         );
         let s_finish = Arc::clone(&s);
@@ -102,7 +108,10 @@ impl HistogramBuilder for BasicS {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 
@@ -137,7 +146,9 @@ mod tests {
         let eps = 0.02;
         let cluster = ClusterConfig::paper_cluster();
         let with = BasicS::new(eps, 1).build(&ds(), &cluster, 8);
-        let without = BasicS::new(eps, 1).combined(false).build(&ds(), &cluster, 8);
+        let without = BasicS::new(eps, 1)
+            .combined(false)
+            .build(&ds(), &cluster, 8);
         assert!(with.metrics.map_output_pairs < without.metrics.map_output_pairs);
         // Uncombined sends exactly the sample size.
         assert_eq!(

@@ -49,15 +49,17 @@ impl HistogramBuilder for Centralized {
         let domain = dataset.domain();
         let w = Self::exact_coefficients(dataset);
         let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
-        let histogram =
-            WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)));
+        let histogram = WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)));
 
         // Time model: one machine scans the whole dataset and transforms.
         let n = dataset.num_records();
         let cpu_ops = n as f64 * (ops::RECORD_SCAN + ops::HASH_UPSERT)
             + domain.u_f64() * ops::COEF_UPDATE
             + domain.u_f64() * ops::HEAP_OFFER; // top-k pass
-        let work = TaskWork { bytes_scanned: dataset.total_bytes(), cpu_ops };
+        let work = TaskWork {
+            bytes_scanned: dataset.total_bytes(),
+            cpu_ops,
+        };
         let sim_time_s = wh_mapreduce::cost::round_time(
             cluster,
             std::slice::from_ref(&work),
@@ -95,8 +97,7 @@ mod tests {
 
         let v = ds.exact_frequency_vector();
         let w = wh_wavelet::haar::forward(&v.iter().map(|&c| c as f64).collect::<Vec<_>>());
-        let top =
-            top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), 8);
+        let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), 8);
         assert_eq!(result.histogram.len(), top.len());
         for (got, want) in result.histogram.coefficients().iter().zip(&top) {
             assert_eq!(got.0, want.slot);

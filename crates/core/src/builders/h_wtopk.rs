@@ -89,9 +89,7 @@ impl HistogramBuilder for HWTopk {
                         domain,
                         local.iter().map(|(&x, &c)| (x, c as f64)),
                     );
-                    ctx.charge(
-                        local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE,
-                    );
+                    ctx.charge(local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
                     let mut tb = TopBottomK::new(k);
                     for (&slot, &w) in &coefs {
                         tb.offer(slot, w);
@@ -100,8 +98,16 @@ impl HistogramBuilder for HWTopk {
                     let top = tb.top();
                     let bottom = tb.bottom();
                     let full = coefs.len() >= k;
-                    let kth_high_slot = if full { top.last().map(|e| e.slot) } else { None };
-                    let kth_low_slot = if full { bottom.last().map(|e| e.slot) } else { None };
+                    let kth_high_slot = if full {
+                        top.last().map(|e| e.slot)
+                    } else {
+                        None
+                    };
+                    let kth_low_slot = if full {
+                        bottom.last().map(|e| e.slot)
+                    } else {
+                        None
+                    };
                     // Union of top and bottom sets, deduplicated.
                     let mut sent: FxHashMap<u64, f64> = FxHashMap::default();
                     for e in top.iter().chain(bottom.iter()) {
@@ -208,8 +214,7 @@ impl HistogramBuilder for HWTopk {
         let (_t2, candidates) = coordinator.finish_round2();
 
         // ---------- Round 3 ----------
-        let candidate_set: Arc<FxHashSet<u64>> =
-            Arc::new(candidates.iter().copied().collect());
+        let candidate_set: Arc<FxHashSet<u64>> = Arc::new(candidates.iter().copied().collect());
         let map_tasks: Vec<MapTask<WKey, Payload>> = (0..dataset.num_splits())
             .map(|j| {
                 let state = Arc::clone(&state);
@@ -280,7 +285,11 @@ mod tests {
 
     #[test]
     fn exact_on_various_shapes() {
-        for (log_u, n, m, k) in [(6u32, 3_000u64, 4u32, 5usize), (10, 8_000, 7, 12), (8, 2_000, 16, 3)] {
+        for (log_u, n, m, k) in [
+            (6u32, 3_000u64, 4u32, 5usize),
+            (10, 8_000, 7, 12),
+            (8, 2_000, 16, 3),
+        ] {
             let (hw, oracle) = build_both(log_u, n, m, k);
             assert_eq!(
                 hw.histogram.coefficients().len(),
@@ -307,13 +316,19 @@ mod tests {
         assert!(hw.metrics.broadcast_bytes >= 8);
     }
 
-    fn assert_same_histogram(a: &crate::histogram::WaveletHistogram, b: &crate::histogram::WaveletHistogram) {
+    fn assert_same_histogram(
+        a: &crate::histogram::WaveletHistogram,
+        b: &crate::histogram::WaveletHistogram,
+    ) {
         // Distributed sums differ from the centralized transform by float
         // associativity only.
         assert_eq!(a.len(), b.len());
         for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
             assert_eq!(x.0, y.0, "slot mismatch");
-            assert!((x.1 - y.1).abs() < 1e-6 * (1.0 + y.1.abs()), "{x:?} vs {y:?}");
+            assert!(
+                (x.1 - y.1).abs() < 1e-6 * (1.0 + y.1.abs()),
+                "{x:?} vs {y:?}"
+            );
         }
     }
 

@@ -65,7 +65,9 @@ impl HistogramBuilder for ImprovedS {
                   vals: &[WSized<u64>],
                   ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
                 ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-                s_reduce.lock().insert(key.id, vals.iter().map(|v| v.value).sum());
+                s_reduce
+                    .lock()
+                    .insert(key.id, vals.iter().map(|v| v.value).sum());
             },
         );
         let s_finish = Arc::clone(&s);
@@ -85,7 +87,10 @@ impl HistogramBuilder for ImprovedS {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 
@@ -131,6 +136,9 @@ mod tests {
         // Dropped counts can only shrink the estimated total.
         let result = ImprovedS::new(0.02, 7).build(&ds(), &ClusterConfig::paper_cluster(), 128);
         let total = result.histogram.range_sum(0, 1023);
-        assert!(total <= 40_000.0 * 1.05, "total {total} should not exceed n");
+        assert!(
+            total <= 40_000.0 * 1.05,
+            "total {total} should not exceed n"
+        );
     }
 }

@@ -7,16 +7,16 @@
 //! return the *same* histogram for the same dataset; the approximations
 //! trade quality for communication and scan cost.
 
-mod centralized;
-mod send_v;
-mod send_coef;
-mod h_wtopk;
-mod sample_common;
 mod basic_s;
+mod centralized;
+mod h_wtopk;
 mod improved_s;
-mod two_level_s;
+mod sample_common;
+mod send_coef;
 mod send_sketch;
 mod send_sketch_ams;
+mod send_v;
+mod two_level_s;
 
 pub use basic_s::BasicS;
 pub use centralized::Centralized;
@@ -101,7 +101,12 @@ mod tests {
             Box::new(HWTopk::new()),
         ] {
             let got = b.build(&ds, &cluster(), k);
-            assert_eq!(got.histogram.len(), reference.histogram.len(), "{}", b.name());
+            assert_eq!(
+                got.histogram.len(),
+                reference.histogram.len(),
+                "{}",
+                b.name()
+            );
             for (x, y) in got
                 .histogram
                 .coefficients()

@@ -25,7 +25,10 @@ where
     let t_j = cfg.split_sample_size_seeded(meta.records, sample_seed ^ (u64::from(j) << 40));
     let records = ds.sample_split(j, t_j, sample_seed);
     // Only the sampled records are read from storage.
-    ctx.note_read(records.len() as u64, records.len() as u64 * u64::from(ds.record_bytes()));
+    ctx.note_read(
+        records.len() as u64,
+        records.len() as u64 * u64::from(ds.record_bytes()),
+    );
     ctx.charge(records.len() as f64 * (ops::SAMPLE_RECORD + ops::HASH_UPSERT));
     let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
     for r in &records {

@@ -54,9 +54,7 @@ impl HistogramBuilder for SendCoef {
                         domain,
                         local.iter().map(|(&x, &c)| (x, c as f64)),
                     );
-                    ctx.charge(
-                        local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE,
-                    );
+                    ctx.charge(local.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
                     let mut slots: Vec<u64> = coefs.keys().copied().collect();
                     slots.sort_unstable();
                     for slot in slots {
@@ -85,7 +83,10 @@ impl HistogramBuilder for SendCoef {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 

@@ -113,7 +113,10 @@ impl HistogramBuilder for SendSketch {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 
@@ -139,15 +142,22 @@ mod tests {
         let k = 10;
         let exact = Centralized::new().build(&ds(), &cluster, k);
         let sketch = SendSketch::new(4).build(&ds(), &cluster, k);
-        let truth: std::collections::BTreeSet<u64> =
-            exact.histogram.coefficients().iter().map(|&(s, _)| s).collect();
+        let truth: std::collections::BTreeSet<u64> = exact
+            .histogram
+            .coefficients()
+            .iter()
+            .map(|&(s, _)| s)
+            .collect();
         let found = sketch
             .histogram
             .coefficients()
             .iter()
             .filter(|&&(s, _)| truth.contains(&s))
             .count();
-        assert!(found >= k / 2, "only {found}/{k} true coefficients recovered");
+        assert!(
+            found >= k / 2,
+            "only {found}/{k} true coefficients recovered"
+        );
     }
 
     #[test]
@@ -167,10 +177,17 @@ mod tests {
 
     #[test]
     fn custom_params_respected() {
-        let params = GcsParams { branching: 4, rows: 3, buckets: 64, subbuckets: 8, seed: 5 };
-        let r = SendSketch::new(5)
-            .with_params(params)
-            .build(&ds(), &ClusterConfig::paper_cluster(), 5);
+        let params = GcsParams {
+            branching: 4,
+            rows: 3,
+            buckets: 64,
+            subbuckets: 8,
+            seed: 5,
+        };
+        let r =
+            SendSketch::new(5)
+                .with_params(params)
+                .build(&ds(), &ClusterConfig::paper_cluster(), 5);
         assert!(!r.histogram.is_empty());
     }
 }

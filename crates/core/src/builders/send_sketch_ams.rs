@@ -31,7 +31,11 @@ impl SendSketchAms {
     /// AMS sketch sized to roughly match the GCS paper default's space
     /// (rows × cols × 8 B ≈ 20 KB · log₂ u).
     pub fn new(seed: u64) -> Self {
-        Self { seed, rows: 5, cols: 0 }
+        Self {
+            seed,
+            rows: 5,
+            cols: 0,
+        }
     }
 
     /// Overrides the sketch dimensions.
@@ -109,7 +113,10 @@ impl HistogramBuilder for SendSketchAms {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 
@@ -135,15 +142,22 @@ mod tests {
         let k = 10;
         let exact = Centralized::new().build(&ds(), &cluster, k);
         let ams = SendSketchAms::new(4).build(&ds(), &cluster, k);
-        let truth: std::collections::BTreeSet<u64> =
-            exact.histogram.coefficients().iter().map(|&(s, _)| s).collect();
+        let truth: std::collections::BTreeSet<u64> = exact
+            .histogram
+            .coefficients()
+            .iter()
+            .map(|&(s, _)| s)
+            .collect();
         let found = ams
             .histogram
             .coefficients()
             .iter()
             .filter(|&&(s, _)| truth.contains(&s))
             .count();
-        assert!(found >= k / 2, "only {found}/{k} true coefficients recovered");
+        assert!(
+            found >= k / 2,
+            "only {found}/{k} true coefficients recovered"
+        );
     }
 
     #[test]

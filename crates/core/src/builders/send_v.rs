@@ -65,11 +65,15 @@ impl HistogramBuilder for SendV {
         // transform + top-k in Close.
         let v: Arc<Mutex<FxHashMap<u64, u64>>> = Arc::new(Mutex::new(FxHashMap::default()));
         let v_reduce = Arc::clone(&v);
-        let reduce = Box::new(move |key: &WKey, vals: &[WSized<u64>], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
-            let total: u64 = vals.iter().map(|s| s.value).sum();
-            ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-            v_reduce.lock().insert(key.id, total);
-        });
+        let reduce = Box::new(
+            move |key: &WKey,
+                  vals: &[WSized<u64>],
+                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+                let total: u64 = vals.iter().map(|s| s.value).sum();
+                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+                v_reduce.lock().insert(key.id, total);
+            },
+        );
         let v_finish = Arc::clone(&v);
         let spec = JobSpec::new("send-v", map_tasks, reduce).with_finish(move |ctx| {
             let v = v_finish.lock();
@@ -87,7 +91,10 @@ impl HistogramBuilder for SendV {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 

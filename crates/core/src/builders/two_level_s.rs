@@ -48,7 +48,11 @@ pub struct TwoLevelS {
 impl TwoLevelS {
     /// Two-level sampling with error parameter `ε` and a sampling seed.
     pub fn new(epsilon: f64, seed: u64) -> Self {
-        Self { epsilon, seed, threshold_exponent: 0.5 }
+        Self {
+            epsilon,
+            seed,
+            threshold_exponent: 0.5,
+        }
     }
 
     /// Overrides the second-level threshold exponent γ (default ½ — the
@@ -123,7 +127,10 @@ impl HistogramBuilder for TwoLevelS {
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);
-        BuildResult { histogram, metrics: out.metrics }
+        BuildResult {
+            histogram,
+            metrics: out.metrics,
+        }
     }
 }
 

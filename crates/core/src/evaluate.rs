@@ -90,7 +90,10 @@ mod tests {
         let exact = Centralized::new().build(&d, &ClusterConfig::paper_cluster(), k);
         let sse = eval.sse(&exact.histogram);
         let ideal = eval.ideal_sse(k);
-        assert!((sse - ideal).abs() <= 1e-6 * ideal.max(1.0), "{sse} vs ideal {ideal}");
+        assert!(
+            (sse - ideal).abs() <= 1e-6 * ideal.max(1.0),
+            "{sse} vs ideal {ideal}"
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let ideal = eval.ideal_sse(k);
         let sse_two = eval.sse(&two.histogram);
         let sse_imp = eval.sse(&imp.histogram);
-        assert!(sse_two < sse_imp, "TwoLevel {sse_two} vs Improved {sse_imp}");
+        assert!(
+            sse_two < sse_imp,
+            "TwoLevel {sse_two} vs Improved {sse_imp}"
+        );
         assert!(sse_two >= ideal * 0.999, "SSE cannot beat the ideal");
         // At this scale sampling noise dominates the (tiny) ideal SSE; the
         // meaningful bound is relative to the signal energy (the paper's

@@ -10,11 +10,35 @@ use wh_wavelet::Domain;
 ///
 /// Stores the retained coefficients sorted by descending magnitude
 /// (ties: ascending slot), which is the order every builder produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaveletHistogram {
     log_u: u32,
     /// `(slot, value)` pairs, 0-based slots (see `wh-wavelet` docs).
     coefs: Vec<(u64, f64)>,
+}
+
+// The vendored serde (see vendor/serde) has no derive macro, so the field
+// mapping is written out by hand.
+impl Serialize for WaveletHistogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("log_u".to_string(), self.log_u.to_value()),
+            ("coefs".to_string(), self.coefs.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WaveletHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::msg(format!("WaveletHistogram: missing `{name}`")))
+        };
+        Ok(Self {
+            log_u: u32::from_value(field("log_u")?)?,
+            coefs: Vec::from_value(field("coefs")?)?,
+        })
+    }
 }
 
 impl WaveletHistogram {
@@ -37,7 +61,11 @@ impl WaveletHistogram {
             .collect();
         sort_by_magnitude(&mut entries);
         for w in entries.windows(2) {
-            assert_ne!(w[0].slot, w[1].slot, "duplicate coefficient slot {}", w[0].slot);
+            assert_ne!(
+                w[0].slot, w[1].slot,
+                "duplicate coefficient slot {}",
+                w[0].slot
+            );
         }
         // windows(2) only catches adjacent duplicates after magnitude sort;
         // do a full check via a sorted scan of slots.
@@ -46,7 +74,10 @@ impl WaveletHistogram {
         for w in slots.windows(2) {
             assert_ne!(w[0], w[1], "duplicate coefficient slot {}", w[0]);
         }
-        Self { log_u: domain.log_u(), coefs: entries.into_iter().map(|e| (e.slot, e.value)).collect() }
+        Self {
+            log_u: domain.log_u(),
+            coefs: entries.into_iter().map(|e| (e.slot, e.value)).collect(),
+        }
     }
 
     /// The key domain.
@@ -72,7 +103,10 @@ impl WaveletHistogram {
 
     /// The retained value of `slot`, if any.
     pub fn coefficient(&self, slot: u64) -> Option<f64> {
-        self.coefs.iter().find(|&&(s, _)| s == slot).map(|&(_, v)| v)
+        self.coefs
+            .iter()
+            .find(|&&(s, _)| s == slot)
+            .map(|&(_, v)| v)
     }
 
     /// Builds the query-side error tree.

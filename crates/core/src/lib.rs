@@ -40,9 +40,9 @@
 //! | [`builders::TwoLevelS`] | sampling (unbiased) | 1 | `O(√m/ε)` |
 //! | [`builders::SendSketch`] | GCS sketch | 1 | sketch size × m |
 
-pub mod histogram;
 pub mod builders;
 pub mod evaluate;
+pub mod histogram;
 pub mod twod;
 
 pub use builders::{BuildResult, HistogramBuilder};

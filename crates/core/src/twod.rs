@@ -36,7 +36,10 @@ impl WaveletHistogram2d {
             .map(|(slot, value)| CoefEntry { slot, value })
             .collect();
         sort_by_magnitude(&mut entries);
-        Self { domain, coefs: entries.into_iter().map(|e| (e.slot, e.value)).collect() }
+        Self {
+            domain,
+            coefs: entries.into_iter().map(|e| (e.slot, e.value)).collect(),
+        }
     }
 
     /// Per-dimension domain.
@@ -84,13 +87,14 @@ pub fn centralized2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> 
             *cells.entry((r.x, r.y)).or_insert(0) += 1;
         }
     }
-    let coefs =
-        sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
+    let coefs = sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
     let top = wh_wavelet::select::top_k_magnitude(coefs, k);
     let n = dataset.num_records();
-    let cpu_ops = n as f64 * 3.0
-        + cells.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
-    let work = TaskWork { bytes_scanned: n * 8, cpu_ops };
+    let cpu_ops = n as f64 * 3.0 + cells.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
+    let work = TaskWork {
+        bytes_scanned: n * 8,
+        cpu_ops,
+    };
     let sim_time_s = wh_mapreduce::cost::round_time(
         cluster,
         std::slice::from_ref(&work),
@@ -128,8 +132,7 @@ pub fn h_wtopk2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> Buil
             *cells.entry((r.x, r.y)).or_insert(0) += 1;
             records += 1;
         }
-        let coefs =
-            sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
+        let coefs = sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
         cpu_ops += cells.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
         nodes.push(InMemoryNode::new(coefs));
     }
@@ -141,14 +144,19 @@ pub fn h_wtopk2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> Buil
     let broadcast_bytes = result.comm.broadcast_items * 8;
     let per_split_scan = records / u64::from(m).max(1) * 8;
     let tasks: Vec<TaskWork> = (0..m)
-        .map(|_| TaskWork { bytes_scanned: per_split_scan, cpu_ops: cpu_ops / m as f64 })
+        .map(|_| TaskWork {
+            bytes_scanned: per_split_scan,
+            cpu_ops: cpu_ops / m as f64,
+        })
         .collect();
     let mut sim_time_s = 0.0;
     for _round in 0..3 {
         sim_time_s += wh_mapreduce::cost::round_time(
             cluster,
             &tasks[..],
-            wh_mapreduce::cost::ReduceWork { cpu_ops: pairs as f64 * 2.0 },
+            wh_mapreduce::cost::ReduceWork {
+                cpu_ops: pairs as f64 * 2.0,
+            },
             shuffle_bytes / 3,
             broadcast_bytes / 3,
         );
@@ -224,15 +232,20 @@ pub fn two_level_s2d(
         }),
     );
     let top = wh_wavelet::select::top_k_magnitude(coefs, k);
-    let cpu_ops = sampled as f64 * 8.0
-        + acc.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
+    let cpu_ops =
+        sampled as f64 * 8.0 + acc.len() as f64 * ((domain.log_u() + 1) as f64).powi(2) * 2.0;
     let tasks: Vec<TaskWork> = (0..m)
-        .map(|_| TaskWork { bytes_scanned: sampled / u64::from(m).max(1) * 8, cpu_ops: cpu_ops / m as f64 })
+        .map(|_| TaskWork {
+            bytes_scanned: sampled / u64::from(m).max(1) * 8,
+            cpu_ops: cpu_ops / m as f64,
+        })
         .collect();
     let sim_time_s = wh_mapreduce::cost::round_time(
         cluster,
         &tasks[..],
-        wh_mapreduce::cost::ReduceWork { cpu_ops: pairs as f64 * 2.0 },
+        wh_mapreduce::cost::ReduceWork {
+            cpu_ops: pairs as f64 * 2.0,
+        },
         shuffle_bytes,
         0,
     );
@@ -259,7 +272,10 @@ mod tests {
     fn dataset() -> Dataset2d {
         Dataset2d::new(
             Domain::new(5).unwrap(),
-            Distribution2d::Correlated { alpha: 1.1, spread: 2 },
+            Distribution2d::Correlated {
+                alpha: 1.1,
+                spread: 2,
+            },
             30_000,
             6,
             17,
@@ -273,7 +289,12 @@ mod tests {
         let a = centralized2d(&d, &cluster, 10);
         let b = h_wtopk2d(&d, &cluster, 10);
         assert_eq!(a.histogram.len(), b.histogram.len());
-        for (x, y) in a.histogram.coefficients().iter().zip(b.histogram.coefficients()) {
+        for (x, y) in a
+            .histogram
+            .coefficients()
+            .iter()
+            .zip(b.histogram.coefficients())
+        {
             assert!((x.1.abs() - y.1.abs()).abs() < 1e-6, "{x:?} vs {y:?}");
         }
     }
@@ -291,10 +312,8 @@ mod tests {
             for r in d.scan_split(j) {
                 *cells.entry((r.x, r.y)).or_insert(0) += 1;
             }
-            let coefs = sparse_transform2d(
-                domain,
-                cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)),
-            );
+            let coefs =
+                sparse_transform2d(domain, cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)));
             total_nonzero += coefs.len() as u64;
         }
         assert!(

@@ -244,7 +244,11 @@ impl Dataset {
         let base = self.num_records / m;
         let extra = self.num_records % m;
         let records = base + u64::from(u64::from(j) < extra);
-        SplitMeta { id: j, records, bytes: records * u64::from(self.record_bytes) }
+        SplitMeta {
+            id: j,
+            records,
+            bytes: records * u64::from(self.record_bytes),
+        }
     }
 
     /// All split metadata.
@@ -262,7 +266,10 @@ impl Dataset {
             Sampler::Uniform => rng.next_below(self.domain.u()),
             Sampler::WorldCup(w) => w.sample(&mut rng),
         };
-        Record { key, bytes: self.record_bytes }
+        Record {
+            key,
+            bytes: self.record_bytes,
+        }
     }
 
     /// Sequentially scans split `j`.
@@ -292,7 +299,10 @@ impl Dataset {
         }
         let mut positions: Vec<u64> = chosen.into_iter().collect();
         positions.sort_unstable();
-        positions.into_iter().map(|i| self.record_at(j, i)).collect()
+        positions
+            .into_iter()
+            .map(|i| self.record_at(j, i))
+            .collect()
     }
 
     /// The exact global frequency vector, computed by a full scan.

@@ -35,7 +35,10 @@ const DELIM: u8 = b'\n';
 ///
 /// Panics when `record_bytes < 8`.
 pub fn write_fixed(path: &Path, keys: &[u64], record_bytes: u32) -> std::io::Result<()> {
-    assert!(record_bytes >= 8, "fixed records need at least the 8-byte key");
+    assert!(
+        record_bytes >= 8,
+        "fixed records need at least the 8-byte key"
+    );
     let mut out = BufWriter::new(File::create(path)?);
     let pad = vec![0u8; record_bytes as usize - 8];
     for &k in keys {
@@ -99,7 +102,11 @@ impl FixedSplitReader {
             0,
             "file size {len} not a multiple of record size {record_bytes}"
         );
-        Ok(Self { file, record_bytes, num_records: len / u64::from(record_bytes) })
+        Ok(Self {
+            file,
+            record_bytes,
+            num_records: len / u64::from(record_bytes),
+        })
     }
 
     /// Records in the split (`n_j`).
@@ -140,11 +147,15 @@ impl FixedSplitReader {
         let mut keys = Vec::with_capacity(offsets.len());
         let mut buf = [0u8; 8];
         for idx in &offsets {
-            self.file.seek(SeekFrom::Start(idx * u64::from(self.record_bytes)))?;
+            self.file
+                .seek(SeekFrom::Start(idx * u64::from(self.record_bytes)))?;
             self.file.read_exact(&mut buf)?;
             keys.push(u64::from_le_bytes(buf));
         }
-        Ok(SampleRead { keys, bytes_read: offsets.len() as u64 * u64::from(self.record_bytes) })
+        Ok(SampleRead {
+            keys,
+            bytes_read: offsets.len() as u64 * u64::from(self.record_bytes),
+        })
     }
 }
 
@@ -190,8 +201,7 @@ impl VariableSplitReader {
                 window.rotate_left(1);
                 window[4] = tail[0];
                 if tail[0] == DELIM {
-                    let framed =
-                        u32::from_le_bytes(window[..4].try_into().expect("4-byte length"));
+                    let framed = u32::from_le_bytes(window[..4].try_into().expect("4-byte length"));
                     if u64::from(framed) == record_len {
                         break;
                     }
@@ -209,7 +219,10 @@ impl VariableSplitReader {
     /// the set of known record extents.
     pub fn sample(&mut self, count: u64, seed: u64) -> std::io::Result<SampleRead> {
         if self.len == 0 || count == 0 {
-            return Ok(SampleRead { keys: Vec::new(), bytes_read: 0 });
+            return Ok(SampleRead {
+                keys: Vec::new(),
+                bytes_read: 0,
+            });
         }
         let mut rng = SplitMix64::new(seed);
         // (start, len) extents of records already located, keyed by start.
@@ -239,8 +252,7 @@ impl VariableSplitReader {
                 window.rotate_left(1);
                 window[4] = b[0];
                 if b[0] == DELIM && scanned >= 5 {
-                    let framed =
-                        u32::from_le_bytes(window[..4].try_into().expect("4-byte length"));
+                    let framed = u32::from_le_bytes(window[..4].try_into().expect("4-byte length"));
                     let end = off + scanned;
                     if u64::from(framed) <= end {
                         let start = end - u64::from(framed);
@@ -253,7 +265,9 @@ impl VariableSplitReader {
                 }
             }
             bytes_read += scanned;
-            let Some((end, record_len)) = found else { continue };
+            let Some((end, record_len)) = found else {
+                continue;
+            };
             let start = end - record_len;
             if extents.iter().any(|&(s, _)| s == start) {
                 continue; // same record found via a different offset

@@ -19,12 +19,12 @@
 //! paper's 4 B → 100 kB record-size sweep (Fig. 11) feasible at laptop
 //! scale.
 
-pub mod rng;
-pub mod zipf;
 pub mod dataset;
 pub mod file;
-pub mod worldcup;
+pub mod rng;
 pub mod twod;
+pub mod worldcup;
+pub mod zipf;
 
 pub use dataset::{Dataset, DatasetBuilder, Distribution, Record, SplitMeta};
 pub use rng::SplitMix64;

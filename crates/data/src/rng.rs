@@ -166,13 +166,30 @@ mod tests {
         let s0 = record_seed(1, 0, 0);
         let s1 = record_seed(1, 0, 1);
         let diff = (s0 ^ s1).count_ones();
-        assert!(diff > 10, "adjacent record seeds too similar: {diff} differing bits");
+        assert!(
+            diff > 10,
+            "adjacent record seeds too similar: {diff} differing bits"
+        );
     }
 
     #[test]
     fn record_seed_distinguishes_splits() {
         assert_ne!(record_seed(1, 0, 5), record_seed(1, 1, 5));
         assert_ne!(record_seed(1, 0, 5), record_seed(2, 0, 5));
+    }
+
+    #[test]
+    fn seedable_trait_matches_native_constructor() {
+        // The rand-trait entry points must be aliases of `new`: datasets
+        // seeded through either path replay identical streams.
+        let mut native = SplitMix64::new(0xdead_beef);
+        let mut from_seed = SplitMix64::from_seed(0xdead_beefu64.to_le_bytes());
+        let mut from_u64 = SplitMix64::seed_from_u64(0xdead_beef);
+        for _ in 0..64 {
+            let x = native.next();
+            assert_eq!(x, from_seed.next_u64());
+            assert_eq!(x, from_u64.next_u64());
+        }
     }
 
     #[test]

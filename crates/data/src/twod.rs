@@ -61,9 +61,7 @@ impl Dataset2d {
                 Some(Zipf::new(domain.u(), alpha_x)),
                 Some(Zipf::new(domain.u(), alpha_y)),
             ),
-            Distribution2d::Correlated { alpha, .. } => {
-                (Some(Zipf::new(domain.u(), alpha)), None)
-            }
+            Distribution2d::Correlated { alpha, .. } => (Some(Zipf::new(domain.u(), alpha)), None),
             Distribution2d::Uniform => (None, None),
         };
         Self {
@@ -115,11 +113,16 @@ impl Dataset2d {
                 let y = (x as i64 + off).rem_euclid(self.domain.u() as i64) as u64;
                 (x, y)
             }
-            Distribution2d::Uniform => {
-                (rng.next_below(self.domain.u()), rng.next_below(self.domain.u()))
-            }
+            Distribution2d::Uniform => (
+                rng.next_below(self.domain.u()),
+                rng.next_below(self.domain.u()),
+            ),
         };
-        Record2d { x, y, bytes: self.record_bytes }
+        Record2d {
+            x,
+            y,
+            bytes: self.record_bytes,
+        }
     }
 
     /// Sequential scan of split `j`.
@@ -149,7 +152,10 @@ mod tests {
     fn cells_in_domain() {
         let d = Dataset2d::new(
             Domain::new(6).unwrap(),
-            Distribution2d::IndependentZipf { alpha_x: 1.1, alpha_y: 0.9 },
+            Distribution2d::IndependentZipf {
+                alpha_x: 1.1,
+                alpha_y: 0.9,
+            },
             5_000,
             4,
             1,
@@ -165,7 +171,10 @@ mod tests {
     fn correlated_mass_near_diagonal() {
         let d = Dataset2d::new(
             Domain::new(8).unwrap(),
-            Distribution2d::Correlated { alpha: 1.0, spread: 3 },
+            Distribution2d::Correlated {
+                alpha: 1.0,
+                spread: 3,
+            },
             20_000,
             4,
             2,
@@ -193,7 +202,13 @@ mod tests {
 
     #[test]
     fn frequency_array_sums_to_n() {
-        let d = Dataset2d::new(Domain::new(4).unwrap(), Distribution2d::Uniform, 2_000, 2, 4);
+        let d = Dataset2d::new(
+            Domain::new(4).unwrap(),
+            Distribution2d::Uniform,
+            2_000,
+            2,
+            4,
+        );
         let v = d.exact_frequency_array();
         assert_eq!(v.iter().sum::<u64>(), 2_000);
         assert_eq!(v.len(), 256);

@@ -34,11 +34,19 @@ impl Zipf {
     /// Panics when `n == 0`, `α < 0`, or `α` is not finite.
     pub fn new(n: u64, alpha: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf exponent must be ≥ 0, got {alpha}");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf exponent must be ≥ 0, got {alpha}"
+        );
         let nf = n as f64;
         let h_x1 = h_integral(1.5, alpha) - 1.0;
         let h_n = h_integral(nf + 0.5, alpha);
-        Self { n: nf, alpha, h_x1, h_n }
+        Self {
+            n: nf,
+            alpha,
+            h_x1,
+            h_n,
+        }
     }
 
     /// Number of ranks.
@@ -134,7 +142,10 @@ mod tests {
         assert!(dof > 0);
         // χ² mean = dof, sd = √(2·dof); allow 6 sigma.
         let bound = dof as f64 + 6.0 * (2.0 * dof as f64).sqrt();
-        assert!(chi2 < bound, "α={alpha} n={n}: chi2 {chi2:.1} > {bound:.1} (dof {dof})");
+        assert!(
+            chi2 < bound,
+            "α={alpha} n={n}: chi2 {chi2:.1} > {bound:.1} (dof {dof})"
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ where
     V: WireSize,
 {
     pub(crate) fn new(split_id: u32) -> Self {
-        Self { split_id, pairs: Vec::new(), records_read: 0, bytes_read: 0, cpu_ops: 0.0 }
+        Self {
+            split_id,
+            pairs: Vec::new(),
+            records_read: 0,
+            bytes_read: 0,
+            cpu_ops: 0.0,
+        }
     }
 
     /// The split this task processes.
@@ -60,7 +66,10 @@ pub struct ReduceContext<R> {
 
 impl<R> ReduceContext<R> {
     pub(crate) fn new() -> Self {
-        Self { outputs: Vec::new(), cpu_ops: 0.0 }
+        Self {
+            outputs: Vec::new(),
+            cpu_ops: 0.0,
+        }
     }
 
     /// Emits one final output record.

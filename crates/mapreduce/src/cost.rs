@@ -61,16 +61,28 @@ impl ClusterConfig {
     pub fn paper_cluster() -> Self {
         let mut machines = Vec::new();
         for _ in 0..9 {
-            machines.push(MachineSpec { cpu_scale: 1.86 / 2.0, ram_gb: 2.0 }); // Xeon 5120
+            machines.push(MachineSpec {
+                cpu_scale: 1.86 / 2.0,
+                ram_gb: 2.0,
+            }); // Xeon 5120
         }
         for _ in 0..3 {
             // 4 exist; one hosts the master and runs no TaskTracker.
-            machines.push(MachineSpec { cpu_scale: 1.0, ram_gb: 4.0 }); // Xeon E5405
+            machines.push(MachineSpec {
+                cpu_scale: 1.0,
+                ram_gb: 4.0,
+            }); // Xeon E5405
         }
         for _ in 0..2 {
-            machines.push(MachineSpec { cpu_scale: 2.13 / 2.0, ram_gb: 6.0 }); // Xeon E5506
+            machines.push(MachineSpec {
+                cpu_scale: 2.13 / 2.0,
+                ram_gb: 6.0,
+            }); // Xeon E5506
         }
-        machines.push(MachineSpec { cpu_scale: 1.86 / 2.0, ram_gb: 2.0 }); // Core 2 6300
+        machines.push(MachineSpec {
+            cpu_scale: 1.86 / 2.0,
+            ram_gb: 2.0,
+        }); // Core 2 6300
         let reducer_machine = 12; // first type-(3) machine
         Self {
             machines,
@@ -88,7 +100,10 @@ impl ClusterConfig {
     /// should not matter.
     pub fn single_machine() -> Self {
         Self {
-            machines: vec![MachineSpec { cpu_scale: 1.0, ram_gb: 8.0 }],
+            machines: vec![MachineSpec {
+                cpu_scale: 1.0,
+                ram_gb: 8.0,
+            }],
             reducer_machine: 0,
             full_bandwidth_mbps: 100.0,
             bandwidth_fraction: 1.0,
@@ -164,7 +179,9 @@ pub fn schedule_makespan(cluster: &ClusterConfig, tasks: &[TaskWork]) -> f64 {
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     let ref_total = |i: usize| durations[i] + cpu[i] / cluster.cpu_ops_per_s;
     order.sort_by(|&a, &b| {
-        ref_total(b).partial_cmp(&ref_total(a)).expect("finite durations")
+        ref_total(b)
+            .partial_cmp(&ref_total(a))
+            .expect("finite durations")
     });
     let mut load = vec![0.0f64; cluster.num_slaves()];
     for i in order {
@@ -174,7 +191,10 @@ pub fn schedule_makespan(cluster: &ClusterConfig, tasks: &[TaskWork]) -> f64 {
             .enumerate()
             .map(|(mi, &l)| {
                 let scale = cluster.machines[mi].cpu_scale;
-                (mi, l + durations[i] + cpu[i] / (cluster.cpu_ops_per_s * scale))
+                (
+                    mi,
+                    l + durations[i] + cpu[i] / (cluster.cpu_ops_per_s * scale),
+                )
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
             .expect("at least one machine");
@@ -200,8 +220,17 @@ mod tests {
     #[test]
     fn makespan_scales_with_tasks() {
         let c = ClusterConfig::paper_cluster();
-        let one = vec![TaskWork { bytes_scanned: 256 << 20, cpu_ops: 0.0 }];
-        let many = vec![TaskWork { bytes_scanned: 256 << 20, cpu_ops: 0.0 }; 60];
+        let one = vec![TaskWork {
+            bytes_scanned: 256 << 20,
+            cpu_ops: 0.0,
+        }];
+        let many = vec![
+            TaskWork {
+                bytes_scanned: 256 << 20,
+                cpu_ops: 0.0
+            };
+            60
+        ];
         let t1 = schedule_makespan(&c, &one);
         let t60 = schedule_makespan(&c, &many);
         // 60 identical tasks on 15 machines ≈ 4 waves.
@@ -218,10 +247,22 @@ mod tests {
     fn faster_machines_attract_cpu_heavy_tasks() {
         let mut c = ClusterConfig::single_machine();
         c.machines = vec![
-            MachineSpec { cpu_scale: 1.0, ram_gb: 1.0 },
-            MachineSpec { cpu_scale: 4.0, ram_gb: 1.0 },
+            MachineSpec {
+                cpu_scale: 1.0,
+                ram_gb: 1.0,
+            },
+            MachineSpec {
+                cpu_scale: 4.0,
+                ram_gb: 1.0,
+            },
         ];
-        let tasks = vec![TaskWork { bytes_scanned: 0, cpu_ops: 1e8 }; 5];
+        let tasks = vec![
+            TaskWork {
+                bytes_scanned: 0,
+                cpu_ops: 1e8
+            };
+            5
+        ];
         let makespan = schedule_makespan(&c, &tasks);
         // 5 CPU-heavy tasks: the 4× machine should take 4 of them
         // (4 × 0.25 s = 1.0 s) and the slow one 1 (1.0 s): makespan 1.0 s.

@@ -40,7 +40,10 @@ pub struct MapTask<K, V> {
 impl<K, V> MapTask<K, V> {
     /// Convenience constructor.
     pub fn new(split_id: u32, run: impl FnOnce(&mut MapContext<K, V>) + Send + 'static) -> Self {
-        Self { split_id, run: Box::new(run) }
+        Self {
+            split_id,
+            run: Box::new(run),
+        }
     }
 }
 
@@ -159,11 +162,13 @@ where
         map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<TaskResult<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(task_queue.len().max(1));
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(task_queue.len().max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= task_queue.len() {
                     break;
@@ -181,19 +186,26 @@ where
                 results.lock().push(TaskResult {
                     split_id: task.split_id,
                     pairs,
-                    work: TaskWork { bytes_scanned: ctx.bytes_read, cpu_ops: ctx.cpu_ops },
+                    work: TaskWork {
+                        bytes_scanned: ctx.bytes_read,
+                        cpu_ops: ctx.cpu_ops,
+                    },
                     records_read: ctx.records_read,
                 });
             });
         }
-    })
-    .expect("map worker panicked");
+        // std::thread::scope joins all workers and re-raises any panic.
+    });
 
     let mut per_task = results.into_inner();
     per_task.sort_by_key(|t| t.split_id);
 
     // ---- Accounting + shuffle ----
-    let mut metrics = RunMetrics { rounds: 1, broadcast_bytes, ..Default::default() };
+    let mut metrics = RunMetrics {
+        rounds: 1,
+        broadcast_bytes,
+        ..Default::default()
+    };
     let mut task_work = Vec::with_capacity(per_task.len());
     let mut shuffled: Vec<(u64, K, u32, V)> = Vec::new(); // (partition, key, split, value)
     for t in per_task {
@@ -236,12 +248,17 @@ where
     metrics.sim_time_s = round_time(
         cluster,
         &task_work,
-        ReduceWork { cpu_ops: rctx.cpu_ops },
+        ReduceWork {
+            cpu_ops: rctx.cpu_ops,
+        },
         metrics.shuffle_bytes,
         metrics.broadcast_bytes,
     );
 
-    JobOutput { outputs: rctx.outputs, metrics }
+    JobOutput {
+        outputs: rctx.outputs,
+        metrics,
+    }
 }
 
 fn apply_combiner<K, V>(
@@ -312,11 +329,12 @@ mod tests {
     fn combiner_shrinks_communication() {
         let cluster = ClusterConfig::single_machine();
         let tasks = wordcount_tasks(vec![vec![7; 100], vec![7; 50]]);
-        let spec = JobSpec::new("wc", tasks, count_reduce()).with_combiner(|_k, vs: &mut Vec<u64>| {
-            let total: u64 = vs.iter().sum();
-            vs.clear();
-            vs.push(total);
-        });
+        let spec =
+            JobSpec::new("wc", tasks, count_reduce()).with_combiner(|_k, vs: &mut Vec<u64>| {
+                let total: u64 = vs.iter().sum();
+                vs.clear();
+                vs.push(total);
+            });
         let out = run_job(&cluster, spec);
         assert_eq!(out.outputs, vec![(7, 150)]);
         // One combined pair per split.
@@ -369,7 +387,11 @@ mod tests {
         let out = run_job(&cluster, spec);
         assert_eq!(out.metrics.cpu_ops, 2e6);
         // Map 2s (2e6 ops at 1e6/s); no reduce groups ran (no pairs).
-        assert!((out.metrics.sim_time_s - 2.0).abs() < 0.01, "{}", out.metrics.sim_time_s);
+        assert!(
+            (out.metrics.sim_time_s - 2.0).abs() < 0.01,
+            "{}",
+            out.metrics.sim_time_s
+        );
     }
 
     #[test]

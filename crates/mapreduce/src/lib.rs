@@ -22,12 +22,12 @@
 //! mapper state to a local HDFS file between rounds (Appendix A) — which is
 //! also why that state is *not* charged as communication.
 
-pub mod wire;
 pub mod context;
 pub mod cost;
 pub mod job;
 pub mod metrics;
 pub mod state;
+pub mod wire;
 
 pub use context::{MapContext, ReduceContext};
 pub use cost::{ClusterConfig, MachineSpec};

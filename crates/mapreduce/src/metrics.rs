@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn display_contains_key_fields() {
-        let m = RunMetrics { rounds: 3, shuffle_bytes: 7, ..Default::default() };
+        let m = RunMetrics {
+            rounds: 3,
+            shuffle_bytes: 7,
+            ..Default::default()
+        };
         let s = m.to_string();
         assert!(s.contains("rounds=3"));
         assert!(s.contains("shuffle=7B"));

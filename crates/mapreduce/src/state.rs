@@ -37,9 +37,8 @@ impl StateStore {
     /// programming error in the round driver, not a data condition.
     pub fn take<T: Any + Send>(&self, split: u32) -> Option<T> {
         self.slots.lock().remove(&split).map(|b| {
-            *b.downcast::<T>().unwrap_or_else(|_| {
-                panic!("state for split {split} has unexpected type")
-            })
+            *b.downcast::<T>()
+                .unwrap_or_else(|_| panic!("state for split {split} has unexpected type"))
         })
     }
 

@@ -26,10 +26,18 @@ impl SamplingConfig {
     ///
     /// Panics on non-positive `ε`, zero `m`, or zero `n`.
     pub fn new(epsilon: f64, m: u32, n: u64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "ε must be positive, got {epsilon}");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "ε must be positive, got {epsilon}"
+        );
         assert!(m > 0, "m must be positive");
         assert!(n > 0, "n must be positive");
-        Self { epsilon, m, n, threshold_exponent: 0.5 }
+        Self {
+            epsilon,
+            m,
+            n,
+            threshold_exponent: 0.5,
+        }
     }
 
     /// Overrides the second-level threshold exponent γ (ablation; the
@@ -40,7 +48,10 @@ impl SamplingConfig {
     ///
     /// Panics unless `0 ≤ γ ≤ 1`.
     pub fn with_threshold_exponent(mut self, gamma: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gamma), "γ must be in [0, 1], got {gamma}");
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "γ must be in [0, 1], got {gamma}"
+        );
         self.threshold_exponent = gamma;
         self
     }
@@ -162,7 +173,9 @@ mod tests {
         let c = SamplingConfig::new(0.2, 4, 100); // p = 1/(0.04·100) = 0.25
         let n_j = 2; // target 0.5
         let trials = 20_000u64;
-        let total: u64 = (0..trials).map(|s| c.split_sample_size_seeded(n_j, s)).sum();
+        let total: u64 = (0..trials)
+            .map(|s| c.split_sample_size_seeded(n_j, s))
+            .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }

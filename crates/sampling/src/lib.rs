@@ -23,8 +23,8 @@
 //! The numeric workhorses live here as pure functions over local count
 //! maps; `wh-core` wires them into MapReduce jobs.
 
-pub mod config;
 pub mod basic;
+pub mod config;
 pub mod improved;
 pub mod two_level;
 

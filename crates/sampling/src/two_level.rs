@@ -176,8 +176,9 @@ mod tests {
             // 10k distinct keys with count = sample/10k each (all below the
             // threshold 1/(0.02·5) = 10 when count < 10).
             let per_key = sample_per_split / 10_000; // = 10 → right at threshold
-            let counts: FxHashMap<u64, u64> =
-                (0..10_000u64).map(|k| (k * 31 + j as u64, per_key / 2)).collect();
+            let counts: FxHashMap<u64, u64> = (0..10_000u64)
+                .map(|k| (k * 31 + j as u64, per_key / 2))
+                .collect();
             total_pairs += emit(&counts, &c, &mut rng).len() as u64;
         }
         let bound = 2.0 * (m as f64).sqrt() / epsilon;

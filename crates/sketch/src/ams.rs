@@ -23,7 +23,10 @@ impl AmsWaveletSketch {
     /// Creates an empty sketch. All sketches built with the same
     /// `(domain, rows, cols, seed)` merge.
     pub fn new(domain: Domain, rows: usize, cols: usize, seed: u64) -> Self {
-        Self { domain, sketch: CountSketch::new(rows, cols, seed) }
+        Self {
+            domain,
+            sketch: CountSketch::new(rows, cols, seed),
+        }
     }
 
     /// The signal domain.
@@ -55,12 +58,18 @@ impl AmsWaveletSketch {
     /// Extracts the k estimated-largest-magnitude coefficients by probing
     /// **every** slot — the `O(u)` query of the AMS approach.
     pub fn topk_exhaustive(&self, k: usize) -> Vec<CoefEntry> {
-        top_k_magnitude((0..self.domain.u()).map(|slot| (slot, self.sketch.estimate(slot))), k)
+        top_k_magnitude(
+            (0..self.domain.u()).map(|slot| (slot, self.sketch.estimate(slot))),
+            k,
+        )
     }
 
     /// Merges another split's sketch.
     pub fn merge(&mut self, other: &AmsWaveletSketch) {
-        assert_eq!(self.domain, other.domain, "merging sketches over different domains");
+        assert_eq!(
+            self.domain, other.domain,
+            "merging sketches over different domains"
+        );
         self.sketch.merge(&other.sketch);
     }
 
@@ -114,7 +123,10 @@ mod tests {
         // The largest-magnitude coefficient is the leaf detail of the spike:
         // slot 2^7 + (17 >> 1) = 136, value −300/√2.
         let top = sk.topk_exhaustive(4);
-        let leaf = top.iter().find(|e| e.slot == 136).expect("slot 136 in top-4");
+        let leaf = top
+            .iter()
+            .find(|e| e.slot == 136)
+            .expect("slot 136 in top-4");
         let true_leaf = exact[&136];
         assert!(
             close(leaf.value, true_leaf, 0.2 * true_leaf.abs()),
@@ -159,5 +171,37 @@ mod tests {
         let mut sk = AmsWaveletSketch::new(domain, 5, 64, 9);
         sk.update_coefficient(3, 2.5);
         assert!((sk.estimate(3) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_estimates_unbiased_across_seeds() {
+        // Feed the same key stream into 1-row sketches under many
+        // independent seeds; the mean estimate of each coefficient must
+        // converge on the exact orthonormal Haar coefficient of the
+        // stream's frequency vector.
+        let domain = Domain::new(5).unwrap();
+        let mut freq = vec![0.0f64; 32];
+        let keys: Vec<(u64, f64)> = (0..32u64).map(|x| (x, ((x * 7) % 13) as f64)).collect();
+        for &(x, c) in &keys {
+            freq[x as usize] += c;
+        }
+        let exact = wh_wavelet::haar::forward(&freq);
+        let trials = 300;
+        for slot in [0u64, 1, 5, 17] {
+            let mut sum = 0.0;
+            for seed in 0..trials {
+                let mut sk = AmsWaveletSketch::new(domain, 1, 16, seed);
+                for &(x, c) in &keys {
+                    sk.update_key(x, c);
+                }
+                sum += sk.estimate(slot);
+            }
+            let mean = sum / trials as f64;
+            let want = exact[slot as usize];
+            assert!(
+                (mean - want).abs() < 4.0,
+                "slot {slot}: mean {mean} vs exact {want}"
+            );
+        }
     }
 }

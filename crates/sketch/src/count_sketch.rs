@@ -19,11 +19,24 @@ impl CountSketch {
     /// Creates an empty sketch; sketches with equal `(rows, cols, seed)`
     /// are mergeable.
     pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
-        assert!(rows >= 1 && cols >= 1, "sketch must have positive dimensions");
-        let bucket_hash = (0..rows).map(|r| PolyHash::from_seed(seed, 2 * r as u64)).collect();
-        let sign_hash =
-            (0..rows).map(|r| PolyHash::from_seed(seed, 2 * r as u64 + 1)).collect();
-        Self { rows, cols, seed, table: vec![0.0; rows * cols], bucket_hash, sign_hash }
+        assert!(
+            rows >= 1 && cols >= 1,
+            "sketch must have positive dimensions"
+        );
+        let bucket_hash = (0..rows)
+            .map(|r| PolyHash::from_seed(seed, 2 * r as u64))
+            .collect();
+        let sign_hash = (0..rows)
+            .map(|r| PolyHash::from_seed(seed, 2 * r as u64 + 1))
+            .collect();
+        Self {
+            rows,
+            cols,
+            seed,
+            table: vec![0.0; rows * cols],
+            bucket_hash,
+            sign_hash,
+        }
     }
 
     /// Rows (independent repetitions).
@@ -60,7 +73,12 @@ impl CountSketch {
     /// Median-of-rows estimate of the sketched vector's squared L2 norm.
     pub fn l2_squared_estimate(&self) -> f64 {
         let mut per_row: Vec<f64> = (0..self.rows)
-            .map(|r| self.table[r * self.cols..(r + 1) * self.cols].iter().map(|x| x * x).sum())
+            .map(|r| {
+                self.table[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum()
+            })
             .collect();
         median(&mut per_row)
     }
@@ -204,5 +222,30 @@ mod tests {
         assert_eq!(median(&mut v), 2.0);
         let mut v = [3.0, 1.0, 2.0];
         assert_eq!(median(&mut v), 2.0);
+    }
+
+    #[test]
+    fn single_row_estimator_is_unbiased_across_seeds() {
+        // A 1-row sketch (no median) is the raw CCF estimator, which is
+        // exactly unbiased: E[ĝ(x)] = f(x). Average it over many
+        // independent hash seeds and check the mean converges.
+        // Signal: f(7) = 100 plus 50 colliding items of weight 10.
+        // Per-seed variance ≤ ‖v‖²/cols = (100² + 50·10²)/16 ≈ 937,
+        // so the mean of 400 seeds has σ ≈ √(937/400) ≈ 1.5.
+        let trials = 400;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut cs = CountSketch::new(1, 16, seed);
+            cs.update(7, 100.0);
+            for i in 0..50u64 {
+                cs.update(1000 + i, 10.0);
+            }
+            sum += cs.estimate(7);
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - 100.0).abs() < 8.0,
+            "estimator biased: mean {mean} vs 100"
+        );
     }
 }

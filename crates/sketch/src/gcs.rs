@@ -52,7 +52,10 @@ impl GcsParams {
     /// evenly over the hierarchy levels, with `rows` = 3 and a 4:1
     /// bucket:sub-bucket split.
     pub fn with_budget(domain: Domain, branching: usize, total_bytes: usize, seed: u64) -> Self {
-        assert!(branching >= 2 && branching.is_power_of_two(), "branching must be a power of two ≥ 2");
+        assert!(
+            branching >= 2 && branching.is_power_of_two(),
+            "branching must be a power of two ≥ 2"
+        );
         let levels = num_levels(domain, branching);
         let rows = 3;
         // counters = levels × rows × buckets × subbuckets × 8 bytes.
@@ -60,7 +63,13 @@ impl GcsParams {
         let subbuckets = (per_level as f64).sqrt().max(2.0) as usize / 2 * 2;
         let subbuckets = subbuckets.clamp(2, 64);
         let buckets = (per_level / subbuckets).max(2);
-        Self { branching, rows, buckets, subbuckets, seed }
+        Self {
+            branching,
+            rows,
+            buckets,
+            subbuckets,
+            seed,
+        }
     }
 }
 
@@ -123,7 +132,10 @@ impl LevelSketch {
             .map(|r| {
                 let b = self.group_hash[r].bucket(group, self.buckets as u64) as usize;
                 let base = (r * self.buckets + b) * self.subbuckets;
-                self.table[base..base + self.subbuckets].iter().map(|x| x * x).sum()
+                self.table[base..base + self.subbuckets]
+                    .iter()
+                    .map(|x| x * x)
+                    .sum()
             })
             .collect();
         median(&mut per_row)
@@ -155,7 +167,12 @@ impl GroupCountSketch {
     pub fn new(domain: Domain, params: GcsParams) -> Self {
         let n = num_levels(domain, params.branching);
         let levels = (0..n).map(|l| LevelSketch::new(&params, l)).collect();
-        Self { domain, params, levels, log_b: params.branching.trailing_zeros() }
+        Self {
+            domain,
+            params,
+            levels,
+            log_b: params.branching.trailing_zeros(),
+        }
     }
 
     /// The sketch parameters.
@@ -196,8 +213,14 @@ impl GroupCountSketch {
 
     /// Merges another sketch built with identical parameters.
     pub fn merge(&mut self, other: &GroupCountSketch) {
-        assert_eq!(self.params, other.params, "merging incompatible GCS sketches");
-        assert_eq!(self.domain, other.domain, "merging GCS over different domains");
+        assert_eq!(
+            self.params, other.params,
+            "merging incompatible GCS sketches"
+        );
+        assert_eq!(
+            self.domain, other.domain,
+            "merging GCS over different domains"
+        );
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             for (x, y) in a.table.iter_mut().zip(&b.table) {
                 *x += y;
@@ -255,7 +278,11 @@ impl GroupCountSketch {
         for g in 0..top_groups {
             let e = self.group_energy(top_level, g);
             if e > 0.0 {
-                heap.push(Frontier { energy: e, level: top_level, group: g });
+                heap.push(Frontier {
+                    energy: e,
+                    level: top_level,
+                    group: g,
+                });
             }
         }
         let mut leaves: Vec<CoefEntry> = Vec::new();
@@ -264,7 +291,10 @@ impl GroupCountSketch {
             if f.level == 0 {
                 let value = self.estimate(f.group);
                 if value != 0.0 {
-                    leaves.push(CoefEntry { slot: f.group, value });
+                    leaves.push(CoefEntry {
+                        slot: f.group,
+                        value,
+                    });
                 }
                 if leaves.len() >= 4 * k {
                     break; // enough candidates to pick k from
@@ -284,7 +314,11 @@ impl GroupCountSketch {
                 }
                 let e = self.group_energy(child_level, child);
                 if e > 0.0 {
-                    heap.push(Frontier { energy: e, level: child_level, group: child });
+                    heap.push(Frontier {
+                        energy: e,
+                        level: child_level,
+                        group: child,
+                    });
                 }
             }
         }
@@ -336,7 +370,10 @@ impl GroupCountSketch {
 
     /// Non-zero counters across all levels (what a mapper ships).
     pub fn nonzero_counters(&self) -> usize {
-        self.levels.iter().map(|l| l.table.iter().filter(|x| **x != 0.0).count()).sum()
+        self.levels
+            .iter()
+            .map(|l| l.table.iter().filter(|x| **x != 0.0).count())
+            .sum()
     }
 
     /// Total counters across all levels.
@@ -350,7 +387,13 @@ mod tests {
     use super::*;
 
     fn test_params(seed: u64) -> GcsParams {
-        GcsParams { branching: 8, rows: 5, buckets: 64, subbuckets: 16, seed }
+        GcsParams {
+            branching: 8,
+            rows: 5,
+            buckets: 64,
+            subbuckets: 16,
+            seed,
+        }
     }
 
     #[test]
@@ -463,7 +506,13 @@ mod flat_counter_tests {
     #[test]
     fn counter_entries_roundtrip_through_add() {
         let domain = Domain::new(10).unwrap();
-        let p = GcsParams { branching: 4, rows: 3, buckets: 32, subbuckets: 8, seed: 6 };
+        let p = GcsParams {
+            branching: 4,
+            rows: 3,
+            buckets: 32,
+            subbuckets: 8,
+            seed: 6,
+        };
         let mut src = GroupCountSketch::new(domain, p);
         for x in 0..200u64 {
             src.update_key(x % 1024, (x % 5) as f64 + 1.0);
@@ -479,7 +528,13 @@ mod flat_counter_tests {
     #[should_panic(expected = "out of range")]
     fn add_counter_bounds_checked() {
         let domain = Domain::new(4).unwrap();
-        let p = GcsParams { branching: 4, rows: 2, buckets: 4, subbuckets: 2, seed: 1 };
+        let p = GcsParams {
+            branching: 4,
+            rows: 2,
+            buckets: 4,
+            subbuckets: 2,
+            seed: 1,
+        };
         let mut g = GroupCountSketch::new(domain, p);
         let total = g.total_counters() as u64;
         g.add_counter(total, 1.0);

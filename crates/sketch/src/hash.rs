@@ -139,7 +139,9 @@ mod tests {
     fn signs_roughly_balanced_and_pairwise_uncorrelated() {
         let h = PolyHash::from_seed(9, 1);
         let n = 50_000i64;
-        let sum: i64 = (0..n as u64).map(|x| if h.sign(x) > 0.0 { 1 } else { -1 }).sum();
+        let sum: i64 = (0..n as u64)
+            .map(|x| if h.sign(x) > 0.0 { 1 } else { -1 })
+            .sum();
         assert!(sum.abs() < 1000, "sign bias {sum}");
         // Correlation of sign(x) with sign(x+1).
         let corr: i64 = (0..(n - 1) as u64)

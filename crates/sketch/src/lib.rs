@@ -22,10 +22,10 @@
 //! which is what makes them shippable through a Combine-less MapReduce
 //! round.
 
-pub mod hash;
-pub mod count_sketch;
 pub mod ams;
+pub mod count_sketch;
 pub mod gcs;
+pub mod hash;
 
 pub use ams::AmsWaveletSketch;
 pub use count_sketch::CountSketch;

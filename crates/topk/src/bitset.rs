@@ -12,7 +12,10 @@ pub struct BitSet {
 impl BitSet {
     /// All-zeros bitset with room for `capacity` bits.
     pub fn new(capacity: usize) -> Self {
-        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Capacity in bits.
@@ -27,14 +30,22 @@ impl BitSet {
     /// Panics when `i >= capacity`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Tests bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 

@@ -36,7 +36,9 @@ pub fn topk_by_value<N: ScoreNode>(nodes: &[N], k: usize) -> Vec<(u64, f64)> {
     let total = aggregate_all(nodes);
     let mut v: Vec<(u64, f64)> = total.into_iter().collect();
     v.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("no NaN scores").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN scores")
+            .then_with(|| a.0.cmp(&b.0))
     });
     v.truncate(k);
     v

@@ -25,8 +25,8 @@
 //! experiments can attribute cost to rounds.
 
 pub mod bitset;
-pub mod node;
 pub mod exact;
+pub mod node;
 pub mod tput;
 pub mod two_sided;
 

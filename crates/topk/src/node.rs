@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn magnitude_filter() {
         let n = node();
-        assert_eq!(n.items_above_magnitude(2.5), vec![(1, 5.0), (2, -3.0), (4, -8.0)]);
+        assert_eq!(
+            n.items_above_magnitude(2.5),
+            vec![(1, 5.0), (2, -3.0), (4, -8.0)]
+        );
         assert!(n.items_above_magnitude(100.0).is_empty());
     }
 

@@ -46,7 +46,10 @@ pub fn tput_topk<N: ScoreNode>(nodes: &[N], k: usize) -> TputResult {
     let m = nodes.len();
     let mut comm = TputComm::default();
     if m == 0 || k == 0 {
-        return TputResult { topk: Vec::new(), comm };
+        return TputResult {
+            topk: Vec::new(),
+            comm,
+        };
     }
 
     // ---- Phase 1: local top-k, partial sums. ----
@@ -118,7 +121,9 @@ pub fn tput_topk<N: ScoreNode>(nodes: &[N], k: usize) -> TputResult {
 
     let mut topk: Vec<(u64, f64)> = exact.into_iter().collect();
     topk.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).expect("no NaN scores").then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN scores")
+            .then_with(|| a.0.cmp(&b.0))
     });
     topk.truncate(k);
     TputResult { topk, comm }
@@ -145,7 +150,9 @@ mod tests {
         // Deterministic pseudo-random non-negative scores.
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         (0..m)
@@ -198,8 +205,11 @@ mod tests {
         }
         let result = tput_topk(&nodes, 3);
         let send_all: u64 = nodes.iter().map(|n| n.len() as u64).sum();
-        assert!(result.comm.total_pairs() < send_all / 4,
-            "tput {} vs send-all {send_all}", result.comm.total_pairs());
+        assert!(
+            result.comm.total_pairs() < send_all / 4,
+            "tput {} vs send-all {send_all}",
+            result.comm.total_pairs()
+        );
         assert_eq!(result.topk.len(), 3);
         assert_eq!(result.topk, topk_by_value(&nodes, 3));
     }

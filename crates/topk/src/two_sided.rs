@@ -82,10 +82,10 @@ impl Coordinator {
     fn record(&mut self, node: usize, item: u64, score: f64) {
         assert!(node < self.m, "node {node} out of {}", self.m);
         let m = self.m;
-        let state = self
-            .items
-            .entry(item)
-            .or_insert_with(|| ItemState { partial: 0.0, seen: BitSet::new(m) });
+        let state = self.items.entry(item).or_insert_with(|| ItemState {
+            partial: 0.0,
+            seen: BitSet::new(m),
+        });
         assert!(!state.seen.get(node), "node {node} sent item {item} twice");
         state.partial += score;
         state.seen.set(node);
@@ -216,7 +216,10 @@ impl Coordinator {
     pub fn absorb_round3(&mut self, node: usize, items: &[(u64, f64)]) {
         assert!(self.t2.is_some(), "round 3 before finish_round2");
         for &(i, s) in items {
-            assert!(self.items.contains_key(&i), "round-3 item {i} not in candidate set");
+            assert!(
+                self.items.contains_key(&i),
+                "round-3 item {i} not in candidate set"
+            );
             self.record(node, i, s);
         }
     }
@@ -230,7 +233,10 @@ impl Coordinator {
             .items
             .into_iter()
             .filter(|(_, s)| s.partial != 0.0)
-            .map(|(item, s)| CoefEntry { slot: item, value: s.partial })
+            .map(|(item, s)| CoefEntry {
+                slot: item,
+                value: s.partial,
+            })
             .collect();
         sort_by_magnitude(&mut entries);
         entries.truncate(self.k);
@@ -273,7 +279,11 @@ pub fn two_sided_topk<N: ScoreNode>(nodes: &[N], k: usize) -> TwoSidedResult {
     let m = nodes.len();
     let mut comm = TputComm::default();
     if m == 0 || k == 0 {
-        return TwoSidedResult { topk: Vec::new(), comm, thresholds: (0.0, 0.0) };
+        return TwoSidedResult {
+            topk: Vec::new(),
+            comm,
+            thresholds: (0.0, 0.0),
+        };
     }
     let mut coord = Coordinator::new(m, k);
 
@@ -326,7 +336,11 @@ pub fn two_sided_topk<N: ScoreNode>(nodes: &[N], k: usize) -> TwoSidedResult {
     }
     comm.pairs_per_round.push(round3);
 
-    TwoSidedResult { topk: coord.finish(), comm, thresholds: (t1, t2) }
+    TwoSidedResult {
+        topk: coord.finish(),
+        comm,
+        thresholds: (t1, t2),
+    }
 }
 
 #[cfg(test)]
@@ -336,7 +350,9 @@ mod tests {
     use crate::node::InMemoryNode;
 
     fn lcg(seed: &mut u64) -> u64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *seed >> 33
     }
 

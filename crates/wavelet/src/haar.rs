@@ -29,7 +29,10 @@ pub fn forward(v: &[f64]) -> Vec<f64> {
 /// the crate docs.
 pub fn forward_in_place(v: &mut [f64]) {
     let u = v.len();
-    assert!(u.is_power_of_two(), "Haar transform requires a power-of-two length, got {u}");
+    assert!(
+        u.is_power_of_two(),
+        "Haar transform requires a power-of-two length, got {u}"
+    );
     let mut scratch = vec![0.0f64; u];
     let mut len = u;
     while len > 1 {
@@ -59,7 +62,10 @@ pub fn inverse(w: &[f64]) -> Vec<f64> {
 /// In-place inverse transform. See [`inverse`].
 pub fn inverse_in_place(w: &mut [f64]) {
     let u = w.len();
-    assert!(u.is_power_of_two(), "Haar inverse requires a power-of-two length, got {u}");
+    assert!(
+        u.is_power_of_two(),
+        "Haar inverse requires a power-of-two length, got {u}"
+    );
     let mut scratch = vec![0.0f64; u];
     let mut len = 1;
     while len < u {
@@ -117,7 +123,9 @@ mod tests {
         let mut x = 12345u64;
         for _ in 0..1024 {
             // Simple LCG noise — deterministic, no rand dependency here.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             v.push(((x >> 33) as f64) / 1e6);
         }
         let w = forward(&v);
@@ -179,5 +187,31 @@ mod tests {
         for i in 0..64 {
             assert!(close(ws[i], wa[i] + wb[i]));
         }
+    }
+
+    #[test]
+    fn roundtrip_every_dyadic_size() {
+        for log_u in 0..=10u32 {
+            let u = 1usize << log_u;
+            let v: Vec<f64> = (0..u)
+                .map(|i| (((i as u64).wrapping_mul(2654435761) % 1009) as f64) - 504.0)
+                .collect();
+            let back = inverse(&forward(&v));
+            assert_eq!(back.len(), u);
+            for (a, b) in v.iter().zip(&back) {
+                assert!(close(*a, *b), "u={u}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let v: Vec<f64> = (0..256).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let mut w_inplace = v.clone();
+        forward_in_place(&mut w_inplace);
+        assert_eq!(forward(&v), w_inplace);
+        let mut back_inplace = w_inplace.clone();
+        inverse_in_place(&mut back_inplace);
+        assert_eq!(inverse(&w_inplace), back_inplace);
     }
 }

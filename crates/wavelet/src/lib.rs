@@ -30,12 +30,12 @@
 //! Keys are likewise zero-based internally: the paper's key `x ∈ [u]`
 //! corresponds to vector position `x − 1`.
 
-pub mod hash;
 pub mod haar;
-pub mod sparse;
-pub mod tree;
+pub mod hash;
 pub mod select;
+pub mod sparse;
 pub mod sse;
+pub mod tree;
 pub mod twod;
 
 pub use haar::{forward, forward_in_place, inverse, inverse_in_place};

@@ -59,7 +59,10 @@ impl PartialOrd for EvictFirst {
 /// # Panics
 ///
 /// Panics if any value is NaN.
-pub fn top_k_magnitude(candidates: impl IntoIterator<Item = (u64, f64)>, k: usize) -> Vec<CoefEntry> {
+pub fn top_k_magnitude(
+    candidates: impl IntoIterator<Item = (u64, f64)>,
+    k: usize,
+) -> Vec<CoefEntry> {
     if k == 0 {
         return Vec::new();
     }
@@ -163,9 +166,17 @@ impl TopBottomK {
         let mut v: Vec<CoefEntry> = self
             .top
             .iter()
-            .map(|r| CoefEntry { slot: r.0.slot, value: r.0.value })
+            .map(|r| CoefEntry {
+                slot: r.0.slot,
+                value: r.0.value,
+            })
             .collect();
-        v.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("no NaN").then(a.slot.cmp(&b.slot)));
+        v.sort_by(|a, b| {
+            b.value
+                .partial_cmp(&a.value)
+                .expect("no NaN")
+                .then(a.slot.cmp(&b.slot))
+        });
         v
     }
 
@@ -174,9 +185,17 @@ impl TopBottomK {
         let mut v: Vec<CoefEntry> = self
             .bottom
             .iter()
-            .map(|e| CoefEntry { slot: e.slot, value: e.value })
+            .map(|e| CoefEntry {
+                slot: e.slot,
+                value: e.value,
+            })
             .collect();
-        v.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("no NaN").then(a.slot.cmp(&b.slot)));
+        v.sort_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .expect("no NaN")
+                .then(a.slot.cmp(&b.slot))
+        });
         v
     }
 }

@@ -41,7 +41,11 @@ pub fn coefficient_updates(domain: Domain, x: u64, weight: f64, mut emit: impl F
         // Position within the block decides the sign.
         let in_right_half = (x >> (block_log - 1)) & 1 == 1;
         let scale = 1.0 / ((1u64 << block_log) as f64).sqrt();
-        let delta = if in_right_half { weight * scale } else { -(weight * scale) };
+        let delta = if in_right_half {
+            weight * scale
+        } else {
+            -(weight * scale)
+        };
         emit(slot, delta);
     }
 }
@@ -99,7 +103,14 @@ mod tests {
     #[test]
     fn matches_dense_transform() {
         let domain = Domain::new(6).unwrap();
-        let pairs = [(0u64, 3.0), (5, 1.0), (5, 2.0), (31, 7.0), (32, 4.0), (63, 1.0)];
+        let pairs = [
+            (0u64, 3.0),
+            (5, 1.0),
+            (5, 2.0),
+            (31, 7.0),
+            (32, 4.0),
+            (63, 1.0),
+        ];
         let sparse = sparse_transform(domain, pairs.iter().copied());
         let dense = forward(&dense_from_pairs(64, &pairs));
         for (slot, val) in dense.iter().enumerate() {

@@ -124,7 +124,10 @@ mod tests {
         let retained = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), 4);
         let noisy: Vec<CoefEntry> = retained
             .iter()
-            .map(|e| CoefEntry { slot: e.slot, value: e.value + 0.5 })
+            .map(|e| CoefEntry {
+                slot: e.slot,
+                value: e.value + 0.5,
+            })
             .collect();
         assert!(sse_against_exact(&w, &noisy) > sse_against_exact(&w, &retained));
     }

@@ -70,7 +70,11 @@ impl ErrorTree {
             let slot = (1u64 << j) + (x >> block_log);
             if let Some(&w) = self.coefs.get(&slot) {
                 let scale = 1.0 / ((1u64 << block_log) as f64).sqrt();
-                let sign = if (x >> (block_log - 1)) & 1 == 1 { 1.0 } else { -1.0 };
+                let sign = if (x >> (block_log - 1)) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 est += w * sign * scale;
             }
         }
@@ -152,10 +156,7 @@ mod tests {
         let domain = Domain::covering(v.len() as u64).unwrap();
         assert_eq!(domain.u() as usize, v.len());
         let w = forward(v);
-        let tree = ErrorTree::new(
-            domain,
-            w.iter().enumerate().map(|(s, &c)| (s as u64, c)),
-        );
+        let tree = ErrorTree::new(domain, w.iter().enumerate().map(|(s, &c)| (s as u64, c)));
         (tree, v.to_vec())
     }
 
@@ -196,10 +197,8 @@ mod tests {
         let v: Vec<f64> = (0..64).map(|i| if i == 10 { 100.0 } else { 1.0 }).collect();
         let domain = Domain::new(6).unwrap();
         let w = forward(&v);
-        let top = crate::select::top_k_magnitude(
-            w.iter().enumerate().map(|(s, &c)| (s as u64, c)),
-            5,
-        );
+        let top =
+            crate::select::top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), 5);
         let tree = ErrorTree::new(domain, top.iter().map(|e| (e.slot, e.value)));
         let recon = tree.reconstruct();
         for x in 0..64u64 {

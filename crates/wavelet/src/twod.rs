@@ -41,7 +41,10 @@ pub fn unpack_slot(packed: u64) -> (u64, u64) {
 /// `2^16` (dense 2-D work is meant for evaluation-sized grids).
 pub fn forward2d(domain: Domain, v: &[f64]) -> Vec<f64> {
     let u = domain.u() as usize;
-    assert!(u <= 1 << 16, "dense 2-D transform limited to u ≤ 2^16 per dimension");
+    assert!(
+        u <= 1 << 16,
+        "dense 2-D transform limited to u ≤ 2^16 per dimension"
+    );
     assert_eq!(v.len(), u * u, "expected a {u}×{u} row-major array");
     let mut a = v.to_vec();
     // Rows.

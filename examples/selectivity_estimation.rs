@@ -36,15 +36,19 @@ fn main() {
     // …then answer many range predicates against ground truth.
     let truth = dataset.exact_frequency_vector();
     let true_sel = |lo: u64, hi: u64| -> f64 {
-        truth[lo as usize..=hi as usize].iter().map(|&c| c as f64).sum::<f64>() / n as f64
+        truth[lo as usize..=hi as usize]
+            .iter()
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / n as f64
     };
 
     let u = dataset.domain().u();
     let predicates: Vec<(u64, u64)> = vec![
-        (0, 63),               // the hot head of the Zipf distribution
-        (0, u / 4 - 1),        // a quarter of the domain
-        (u / 4, u / 2 - 1),    // the lukewarm middle
-        (u / 2, u - 1),        // the cold tail
+        (0, 63),            // the hot head of the Zipf distribution
+        (0, u / 4 - 1),     // a quarter of the domain
+        (u / 4, u / 2 - 1), // the lukewarm middle
+        (u / 2, u - 1),     // the cold tail
         (100, 1_000),
         (u - 4_096, u - 1),
     ];
@@ -58,8 +62,13 @@ fn main() {
         let t = true_sel(lo, hi);
         let e = hist.selectivity(lo, hi, n);
         worst = worst.max((t - e).abs());
-        println!("{lo:>10} {hi:>10} {t:>12.6} {e:>12.6} {:>12.6}", (t - e).abs());
+        println!(
+            "{lo:>10} {hi:>10} {t:>12.6} {e:>12.6} {:>12.6}",
+            (t - e).abs()
+        );
     }
     println!("\nworst absolute selectivity error: {worst:.6}");
-    println!("(the paper's guarantee: frequency error sd ≈ εn per key; range sums concentrate further)");
+    println!(
+        "(the paper's guarantee: frequency error sd ≈ εn per key; range sums concentrate further)"
+    );
 }

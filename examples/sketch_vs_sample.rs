@@ -43,7 +43,9 @@ fn main() {
     for frac in [0.25f64, 1.0, 4.0] {
         let budget = (20.0 * 1024.0 * domain.log_u() as f64 * frac) as usize;
         let params = GcsParams::with_budget(domain, 8, budget, 5);
-        let r = SendSketch::new(5).with_params(params).build(&dataset, &cluster, k);
+        let r = SendSketch::new(5)
+            .with_params(params)
+            .build(&dataset, &cluster, k);
         println!(
             "{:<28} {:>12} {:>9.1}s {:>12.3e} {:>12}",
             format!("Send-Sketch space×{frac}"),

@@ -18,7 +18,10 @@ fn main() {
     // dimensions where 1-D marginals would lose the structure.
     let dataset = Dataset2d::new(
         Domain::new(7).expect("valid domain"),
-        Distribution2d::Correlated { alpha: 1.1, spread: 4 },
+        Distribution2d::Correlated {
+            alpha: 1.1,
+            spread: 4,
+        },
         1 << 19,
         16,
         11,

@@ -22,18 +22,18 @@
 //! println!("{} — {}", result.histogram.len(), result.metrics);
 //! ```
 
-/// Haar wavelet machinery (transforms, error tree, selection, SSE, 2-D).
-pub use wh_wavelet as wavelet;
-/// The MapReduce runtime and cluster cost model.
-pub use wh_mapreduce as mapreduce;
 /// Seeded dataset generators (Zipf, WorldCup-like, 2-D).
 pub use wh_data as data;
-/// Distributed top-k protocols (TPUT, two-sided TPUT).
-pub use wh_topk as topk;
-/// Linear sketches (CountSketch, GCS, AMS).
-pub use wh_sketch as sketch;
+/// The MapReduce runtime and cluster cost model.
+pub use wh_mapreduce as mapreduce;
 /// The sampling algorithms (Basic-S, Improved-S, TwoLevel-S).
 pub use wh_sampling as sampling;
+/// Linear sketches (CountSketch, GCS, AMS).
+pub use wh_sketch as sketch;
+/// Distributed top-k protocols (TPUT, two-sided TPUT).
+pub use wh_topk as topk;
+/// Haar wavelet machinery (transforms, error tree, selection, SSE, 2-D).
+pub use wh_wavelet as wavelet;
 
 /// The histogram builders.
 pub use wh_core::builders;

@@ -1,9 +1,7 @@
 //! Cross-crate integration: the approximation algorithms' quality and
 //! cost relationships claimed in §4–§5 hold end-to-end.
 
-use wavelet_hist::builders::{
-    BasicS, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS,
-};
+use wavelet_hist::builders::{BasicS, HistogramBuilder, ImprovedS, SendSketch, SendV, TwoLevelS};
 use wavelet_hist::data::Dataset;
 use wavelet_hist::evaluate::Evaluator;
 use wavelet_hist::mapreduce::ClusterConfig;
@@ -22,7 +20,10 @@ fn approximations_all_cheaper_than_exact_baseline() {
     // Basic-S is the weakest sampler (the paper replaces it with
     // Improved-S as the default competitor), so it only gets a 5× bar.
     for (factor, b) in [
-        (5u64, Box::new(BasicS::new(EPS, 3)) as Box<dyn HistogramBuilder>),
+        (
+            5u64,
+            Box::new(BasicS::new(EPS, 3)) as Box<dyn HistogramBuilder>,
+        ),
         (10, Box::new(ImprovedS::new(EPS, 3))),
         (10, Box::new(TwoLevelS::new(EPS, 3))),
     ] {
@@ -34,7 +35,11 @@ fn approximations_all_cheaper_than_exact_baseline() {
             got.metrics.total_comm_bytes(),
             sv.metrics.total_comm_bytes()
         );
-        assert!(got.metrics.records_scanned < ds.num_records() / 10, "{}", b.name());
+        assert!(
+            got.metrics.records_scanned < ds.num_records() / 10,
+            "{}",
+            b.name()
+        );
     }
 }
 

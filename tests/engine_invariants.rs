@@ -3,13 +3,14 @@
 
 use proptest::prelude::*;
 use wavelet_hist::mapreduce::wire::WKey;
-use wavelet_hist::mapreduce::{
-    run_job, ClusterConfig, JobSpec, MapContext, MapTask, WireSize,
-};
+use wavelet_hist::mapreduce::{run_job, ClusterConfig, JobSpec, MapContext, MapTask, WireSize};
 
 type Outputs = Vec<(u64, u64)>;
 
-fn count_job(splits: Vec<Vec<u64>>, combine: bool) -> (Outputs, wavelet_hist::mapreduce::RunMetrics) {
+fn count_job(
+    splits: Vec<Vec<u64>>,
+    combine: bool,
+) -> (Outputs, wavelet_hist::mapreduce::RunMetrics) {
     let tasks: Vec<MapTask<WKey, u64>> = splits
         .into_iter()
         .enumerate()

@@ -3,9 +3,7 @@
 //! on every dataset shape, matching §3's claim that they compute the same
 //! object at different costs.
 
-use wavelet_hist::builders::{
-    Centralized, HWTopk, HistogramBuilder, SendCoef, SendV,
-};
+use wavelet_hist::builders::{Centralized, HWTopk, HistogramBuilder, SendCoef, SendV};
 use wavelet_hist::data::{Dataset, DatasetBuilder, Distribution};
 use wavelet_hist::mapreduce::ClusterConfig;
 use wavelet_hist::wavelet::Domain;
@@ -30,7 +28,10 @@ fn assert_same(a: &WaveletHistogram, b: &WaveletHistogram, ctx: &str) {
     for &(slot, value) in a.coefficients() {
         if value.abs() > kth + tol {
             let want = b_map.get(&slot).copied().unwrap_or_else(|| {
-                panic!("{ctx}: slot {slot} (|w|={}) missing from reference", value.abs())
+                panic!(
+                    "{ctx}: slot {slot} (|w|={}) missing from reference",
+                    value.abs()
+                )
             });
             assert!(
                 (value - want).abs() < 1e-6 * (1.0 + want.abs()),
@@ -53,7 +54,10 @@ fn datasets() -> Vec<(&'static str, Dataset)> {
     vec![
         ("zipf-0.8", base(Distribution::Zipf { alpha: 0.8 })),
         ("zipf-1.4", base(Distribution::Zipf { alpha: 1.4 })),
-        ("scrambled", base(Distribution::ScrambledZipf { alpha: 1.1 })),
+        (
+            "scrambled",
+            base(Distribution::ScrambledZipf { alpha: 1.1 }),
+        ),
         ("uniform", base(Distribution::Uniform)),
         ("worldcup", base(Distribution::WorldCup)),
     ]
@@ -70,7 +74,11 @@ fn all_exact_builders_agree_on_all_distributions() {
             Box::new(HWTopk::new()),
         ] {
             let got = b.build(&ds, &cluster, 15);
-            assert_same(&got.histogram, &reference.histogram, &format!("{name}/{}", b.name()));
+            assert_same(
+                &got.histogram,
+                &reference.histogram,
+                &format!("{name}/{}", b.name()),
+            );
         }
     }
 }

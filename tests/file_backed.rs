@@ -56,8 +56,7 @@ fn file_sample_key_distribution_tracks_source() {
     let path = materialise_split(&ds, 0, "dist.bin", 16);
     let mut reader = FixedSplitReader::open(&path, 16).expect("open");
     let all = reader.scan().expect("scan");
-    let head_mass =
-        all.iter().filter(|&&k| k < 8).count() as f64 / all.len() as f64;
+    let head_mass = all.iter().filter(|&&k| k < 8).count() as f64 / all.len() as f64;
     let sample = reader.sample(4_000, 3).expect("sample");
     let sample_head =
         sample.keys.iter().filter(|&&k| k < 8).count() as f64 / sample.keys.len() as f64;
@@ -84,5 +83,8 @@ fn variable_length_reader_handles_paper_remarks_layout() {
     // Byte-offset sampling is length-biased per draw, but the reader
     // never returns the same record twice.
     let positions: std::collections::BTreeSet<u64> = sample.keys.iter().copied().collect();
-    assert!(positions.len() > 50, "sample should cover many distinct keys");
+    assert!(
+        positions.len() > 50,
+        "sample should cover many distinct keys"
+    );
 }

@@ -12,8 +12,7 @@ use wavelet_hist::topk::InMemoryNode;
 /// cancellation).
 fn nodes_strategy() -> impl Strategy<Value = Vec<InMemoryNode>> {
     prop::collection::vec(
-        prop::collection::vec(((0u64..30), -100.0f64..100.0), 0..40)
-            .prop_map(InMemoryNode::new),
+        prop::collection::vec(((0u64..30), -100.0f64..100.0), 0..40).prop_map(InMemoryNode::new),
         1..8,
     )
 }
@@ -71,7 +70,9 @@ fn classic_tput_matches_reference_on_many_seeds() {
     use wavelet_hist::topk::tput::tput_topk;
     let mut state = 42u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for _trial in 0..25 {

@@ -1,0 +1,270 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the benchmarking surface its benches use: `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! mean-of-N wall-clock loop printed to stdout — adequate for relative
+//! comparisons; no statistics, plots, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let g = self.benchmark_group(id.to_string());
+        let (sample_size, measurement_time) = (g.sample_size, g.measurement_time);
+        run_one(&g.name, None, None, sample_size, measurement_time, &mut f);
+        g.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares the amount of work per iteration, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a parameter label and a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            Some(&id),
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` under a parameter label.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &self.name,
+            Some(&id),
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` label.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs ≥ ~1 ms so Instant overhead is amortised.
+        let mut batch: u64 = 1;
+        let batch_cost = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break dt;
+            }
+            batch *= 4;
+        };
+        let _ = batch_cost;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let dt = start.elapsed();
+        self.ns_per_iter = dt.as_nanos() as f64 / batch as f64;
+    }
+}
+
+fn run_one(
+    group: &str,
+    id: Option<&BenchmarkId>,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Each "sample" re-invokes the closure; keep samples modest since the
+    // stub reports a mean, not a distribution.
+    let samples = sample_size.clamp(1, 10);
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        best = best.min(b.ns_per_iter);
+        total += b.ns_per_iter;
+    }
+    let mean = total / samples as f64;
+    let name = match id {
+        Some(id) => format!("{group}/{}", id.label),
+        None => group.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:>12.1} Melem/s", n as f64 / mean * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:>12.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} mean {mean:>12.1} ns/iter (best {best:.1}){rate}");
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2).measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

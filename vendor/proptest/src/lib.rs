@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the slice of proptest it uses: the [`proptest!`] /
+//! [`prop_assert!`] macros, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, numeric range strategies, tuple strategies, and
+//! [`collection::vec`]. Inputs are sampled from a seeded deterministic
+//! generator (seed = hash of the test path, so runs are reproducible);
+//! there is no shrinking — a failing case reports its sampled inputs via
+//! the assertion message instead.
+
+pub mod collection;
+pub mod prelude;
+pub mod rng;
+pub mod strategy;
+
+use std::fmt;
+
+/// Per-test configuration; only the case count is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property-test case (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs
+/// the body, failing on the first `prop_assert*` violation.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::rng::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("{{", $(stringify!($arg), ": {:?}, ",)* "}}"),
+                        $(&$arg),*
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        ::std::panic!(
+                            "property '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case, __cfg.cases, e, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its sampled inputs) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r,
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), __l,
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -2.5f64..4.0, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..4.0).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size_and_elements(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            for &x in &v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn prop_map_and_tuples(p in ((0u64..5), 1.0f64..2.0).prop_map(|(k, c)| (k * 2, c))) {
+            prop_assert!(p.0 % 2 == 0 && p.0 < 10);
+            prop_assert!((1.0..2.0).contains(&p.1));
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(0.0f64..1.0, 8usize)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 0..50);
+        let a = s.sample(&mut TestRng::for_case("t", 3));
+        let b = s.sample(&mut TestRng::for_case("t", 3));
+        let c = s.sample(&mut TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different cases should (overwhelmingly) differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing' failed")]
+    fn failures_panic_with_inputs() {
+        // No `#[test]` on the inner fn: it must not register with the
+        // harness as a (deliberately failing) test of its own.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn failing(x in 0u64..100) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        failing();
+    }
+}
