@@ -1,0 +1,139 @@
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR2.json`.
+//!
+//! ```text
+//! cargo run -p wh-bench --release --bin bench_suite                 # full suite
+//! cargo run -p wh-bench --release --bin bench_suite -- --fast      # CI smoke scale
+//! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # full + fast → committed file
+//! cargo run -p wh-bench --release --bin bench_suite -- \
+//!     --fast --out bench-current.json --check BENCH_PR2.json       # regression gate
+//! ```
+//!
+//! `--check BASELINE` compares the fresh run's per-bench `relative_cost`
+//! (pipelined ÷ reference engine, same machine, same run) against the
+//! matching mode section of the committed baseline and exits nonzero on
+//! more than 25 % regression or on any output divergence between the
+//! engines. `--baseline` runs both scales and writes both sections —
+//! that is how the committed `BENCH_PR2.json` is produced.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wh_bench::suite::{check_regression, render_json, run_suite, BenchRecord, SuiteOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_suite [--fast | --baseline] [--repeats N] [--out FILE] [--check BASELINE]"
+    );
+    std::process::exit(2);
+}
+
+fn print_table(records: &[BenchRecord]) {
+    println!(
+        "{:<22} {:>12} {:>12} {:>9} {:>14} {:>8}",
+        "bench", "pipelined_s", "reference_s", "speedup", "items/s", "match"
+    );
+    for r in records {
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>8.2}x {:>14.0} {:>8}",
+            r.name,
+            r.wall_s,
+            r.reference_wall_s,
+            r.speedup(),
+            r.items_per_s,
+            r.outputs_match
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut fast = false;
+    let mut baseline_mode = false;
+    let mut repeats: Option<usize> = None;
+    let mut out = PathBuf::from("BENCH_PR2.json");
+    let mut check: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--baseline" => baseline_mode = true,
+            "--repeats" => {
+                repeats = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--out" => out = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--check" => check = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if fast && baseline_mode {
+        usage();
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Fast-mode workloads are tiny, so extra repetitions are cheap and
+    // buy timing stability on shared CI runners.
+    let repeats = repeats.unwrap_or(3);
+
+    let json;
+    let current: Vec<BenchRecord>;
+    if baseline_mode {
+        eprintln!("running full + fast suites on {cores} core(s), best of {repeats} …");
+        let full = run_suite(SuiteOptions {
+            fast: false,
+            repeats,
+        });
+        print_table(&full);
+        let fast_records = run_suite(SuiteOptions {
+            fast: true,
+            repeats,
+        });
+        println!("-- fast scale --");
+        print_table(&fast_records);
+        json = render_json(Some(&full), Some(&fast_records), repeats);
+        current = full;
+    } else {
+        eprintln!(
+            "running {} suite on {cores} core(s), best of {repeats} …",
+            if fast { "fast" } else { "full" }
+        );
+        current = run_suite(SuiteOptions { fast, repeats });
+        print_table(&current);
+        json = if fast {
+            render_json(None, Some(&current), repeats)
+        } else {
+            render_json(Some(&current), None, repeats)
+        };
+    }
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_regression(&baseline, &current, fast, 0.25) {
+            Ok(()) => eprintln!(
+                "regression check vs {} passed (tolerance 25%)",
+                baseline_path.display()
+            ),
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("REGRESSION: {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

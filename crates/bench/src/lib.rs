@@ -11,9 +11,16 @@
 //! regenerate everything into `results/*.csv`, or pass a figure id
 //! (`fig5`, `fig6`, …). EXPERIMENTS.md records the scaling and the
 //! paper-vs-measured comparison per figure.
+//!
+//! The [`suite`] module is the engine-regression harness behind
+//! `cargo run -p wh-bench --release --bin bench_suite`: a fixed set of
+//! wall-clock benchmarks comparing the pipelined execution engine against
+//! the preserved seed engine, emitting `BENCH_PR2.json` and gating CI on
+//! >25 % relative regressions.
 
 pub mod defaults;
 pub mod figures;
+pub mod suite;
 pub mod table;
 
 pub use defaults::Defaults;

@@ -1,0 +1,505 @@
+//! The fixed benchmark suite behind `BENCH_PR2.json` and the CI
+//! regression gate.
+//!
+//! Five benchmarks, each timing the **pipelined** engine against a
+//! baseline measured in the same process and run:
+//!
+//! | name | pipelined side | baseline side |
+//! |---|---|---|
+//! | `haar_forward` | in-place Haar transform | allocating transform |
+//! | `shuffle_throughput` | spill → k-way merge → parallel reduce | global sort + sequential reduce |
+//! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
+//! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
+//! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
+//!
+//! Because both sides run on the same machine moments apart, the
+//! per-bench `relative_cost` (`wall_s / reference_wall_s`) is portable
+//! across machines — that ratio, not absolute seconds, is what
+//! [`check_regression`] compares against the committed baseline, failing
+//! on a >25 % regression. Output correctness is asserted, not assumed:
+//! every engine-vs-engine bench requires bit-identical outputs and equal
+//! logical metrics before its timing counts.
+
+use std::time::Instant;
+
+use wh_core::builders::{HistogramBuilder, SendCoef, SendV, TwoLevelS};
+use wh_data::DatasetBuilder;
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
+use wh_wavelet::Domain;
+
+/// How the suite is scaled.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteOptions {
+    /// Shrinks every workload for CI smoke runs (`--fast`).
+    pub fast: bool,
+    /// Timed repetitions per side; the minimum is reported.
+    pub repeats: usize,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            repeats: 3,
+        }
+    }
+}
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Stable benchmark id (JSON key).
+    pub name: &'static str,
+    /// Best wall-clock of the pipelined/optimised side, seconds.
+    pub wall_s: f64,
+    /// Best wall-clock of the baseline side, seconds.
+    pub reference_wall_s: f64,
+    /// Items (coefficients, pairs, records) processed per second by the
+    /// pipelined side.
+    pub items_per_s: f64,
+    /// Whether both sides produced bit-identical outputs and equal
+    /// logical metrics.
+    pub outputs_match: bool,
+}
+
+impl BenchRecord {
+    /// Baseline time over pipelined time (>1 = the refactor is faster).
+    pub fn speedup(&self) -> f64 {
+        self.reference_wall_s / self.wall_s.max(1e-12)
+    }
+
+    /// Pipelined time over baseline time — the machine-portable quantity
+    /// the regression gate compares.
+    pub fn relative_cost(&self) -> f64 {
+        self.wall_s / self.reference_wall_s.max(1e-12)
+    }
+}
+
+fn time_best<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("at least one repetition"))
+}
+
+/// Runs the whole fixed suite.
+pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
+    vec![
+        haar_forward(opts),
+        shuffle_throughput(opts),
+        end_to_end_send_coef(opts),
+        end_to_end_send_v(opts),
+        end_to_end_two_level(opts),
+    ]
+}
+
+/// Dense Haar transform: in-place vs allocating.
+fn haar_forward(opts: SuiteOptions) -> BenchRecord {
+    let log_u = if opts.fast { 16 } else { 20 };
+    let u = 1usize << log_u;
+    let input: Vec<f64> = (0..u).map(|i| ((i * 2654435761) % 997) as f64).collect();
+
+    let (ref_s, reference) = time_best(opts.repeats, || wh_wavelet::haar::forward(&input));
+    let (wall_s, ours) = time_best(opts.repeats, || {
+        let mut w = input.clone();
+        wh_wavelet::haar::forward_in_place(&mut w);
+        w
+    });
+    BenchRecord {
+        name: "haar_forward",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: u as f64 / wall_s.max(1e-12),
+        outputs_match: ours == reference,
+    }
+}
+
+/// Pure shuffle/reduce stress: mappers emit pre-generated unsorted pairs
+/// (negligible map CPU), so the timing isolates spill-sort + merge +
+/// reduce against the seed global sort + sequential reduce.
+fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
+    let (splits, pairs_per_split) = if opts.fast {
+        (8, 40_000)
+    } else {
+        (16, 150_000)
+    };
+    let total_pairs = (splits * pairs_per_split) as u64;
+    let cluster = ClusterConfig::single_machine();
+
+    let run = |engine: EngineConfig| {
+        let tasks: Vec<MapTask<u64, u64>> = (0..splits as u32)
+            .map(|j| {
+                MapTask::new(j, move |ctx| {
+                    let mut x = 0x9e3779b97f4a7c15u64 ^ (u64::from(j) << 32);
+                    for i in 0..pairs_per_split as u64 {
+                        // SplitMix-style scramble: unsorted, heavy-duplicate keys.
+                        x = x.wrapping_add(0x9e3779b97f4a7c15);
+                        let mut z = x;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                        ctx.emit(z % (1 << 18), i);
+                    }
+                })
+            })
+            .collect();
+        let spec = JobSpec::new(
+            "shuffle-throughput",
+            tasks,
+            |k: &u64, vs: &[u64], ctx: &mut wh_mapreduce::ReduceContext<(u64, u64)>| {
+                ctx.emit((*k, vs.len() as u64));
+            },
+        )
+        .with_engine(engine.with_reducers(8));
+        run_job(&cluster, spec)
+    };
+
+    let (ref_s, reference) = time_best(opts.repeats, || run(EngineConfig::reference()));
+    let (wall_s, ours) = time_best(opts.repeats, || run(EngineConfig::pipelined()));
+    BenchRecord {
+        name: "shuffle_throughput",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: total_pairs as f64 / wall_s.max(1e-12),
+        outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+    }
+}
+
+fn zipf_dataset(opts: SuiteOptions, alpha: f64, seed: u64, log_u_full: u32) -> wh_data::Dataset {
+    let (n, log_u, m) = if opts.fast {
+        (1u64 << 17, 13, 16)
+    } else {
+        (1u64 << 21, log_u_full, 64)
+    };
+    DatasetBuilder::new()
+        .domain(Domain::new(log_u).expect("valid log_u"))
+        .distribution(wh_data::Distribution::Zipf { alpha })
+        .records(n)
+        .splits(m)
+        .seed(seed)
+        .build()
+}
+
+fn end_to_end<B: HistogramBuilder>(
+    name: &'static str,
+    dataset: &wh_data::Dataset,
+    k: usize,
+    opts: SuiteOptions,
+    make: impl Fn(EngineConfig) -> B,
+) -> BenchRecord {
+    let cluster = ClusterConfig::paper_cluster();
+    // One reduce slot per slave of the paper cluster, Hadoop's natural
+    // multi-reducer deployment.
+    let reducers = cluster.num_slaves() as u32;
+    let (ref_s, reference) = time_best(opts.repeats, || {
+        make(EngineConfig::reference().with_reducers(reducers)).build(dataset, &cluster, k)
+    });
+    let (wall_s, ours) = time_best(opts.repeats, || {
+        make(EngineConfig::pipelined().with_reducers(reducers)).build(dataset, &cluster, k)
+    });
+    let same_histogram = ours.histogram.coefficients() == reference.histogram.coefficients();
+    let same_metrics: bool = {
+        let a: &RunMetrics = &ours.metrics;
+        a == &reference.metrics
+    };
+    BenchRecord {
+        name,
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: dataset.num_records() as f64 / wall_s.max(1e-12),
+        outputs_match: same_histogram && same_metrics,
+    }
+}
+
+/// Send-Coef end to end: every key touches `log u + 1` coefficients, so
+/// this is the paper's shuffle-explosive algorithm — the regime the
+/// pipelined engine exists for.
+fn end_to_end_send_coef(opts: SuiteOptions) -> BenchRecord {
+    let ds = zipf_dataset(opts, 0.8, 0x5eed, 18);
+    end_to_end("end_to_end_send_coef", &ds, 30, opts, |engine| {
+        SendCoef::new().with_engine(engine)
+    })
+}
+
+/// Send-V end to end on low-skew Zipf data (α = 0.7 keeps per-split
+/// frequency vectors dense, the regime where Send-V is shuffle-bound).
+fn end_to_end_send_v(opts: SuiteOptions) -> BenchRecord {
+    let ds = zipf_dataset(opts, 0.7, 0x5eed, 17);
+    end_to_end("end_to_end_send_v", &ds, 30, opts, |engine| {
+        SendV::new().with_engine(engine)
+    })
+}
+
+/// TwoLevel-S end to end on the paper's default skew (sampling keeps the
+/// shuffle tiny, so this guards the map/sample path's wall-clock).
+fn end_to_end_two_level(opts: SuiteOptions) -> BenchRecord {
+    let ds = zipf_dataset(opts, 1.1, 0x5eed, 17);
+    end_to_end("end_to_end_two_level", &ds, 30, opts, |engine| {
+        TwoLevelS::new(5e-3, 7).with_engine(engine)
+    })
+}
+
+/// Section name a mode's records live under in the report: full-scale
+/// runs and fast (CI smoke) runs are **not** comparable to each other —
+/// fast workloads are far less shuffle-bound — so each mode regresses
+/// only against its own committed section.
+pub fn section_for(fast: bool) -> &'static str {
+    if fast {
+        "fast_benches"
+    } else {
+        "benches"
+    }
+}
+
+fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: bool) {
+    out.push_str(&format!("  \"{name}\": [\n"));
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \
+             \"speedup\": {:.3}, \"relative_cost\": {:.4}, \"items_per_s\": {:.1}, \
+             \"outputs_match\": {}}}{}\n",
+            r.name,
+            r.wall_s,
+            r.reference_wall_s,
+            r.speedup(),
+            r.relative_cost(),
+            r.items_per_s,
+            r.outputs_match,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(if last { "  ]\n" } else { "  ],\n" });
+}
+
+/// Renders the machine-readable suite report (the `BENCH_PR2.json`
+/// schema). Either section may be absent; the committed baseline carries
+/// both so the CI fast run and local full runs each have a like-for-like
+/// reference.
+pub fn render_json(
+    full: Option<&[BenchRecord]>,
+    fast: Option<&[BenchRecord]>,
+    repeats: usize,
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
+    out.push_str("  \"suite\": \"PR2\",\n");
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    match (full, fast) {
+        (Some(f), Some(q)) => {
+            render_section(&mut out, section_for(false), f, false);
+            render_section(&mut out, section_for(true), q, true);
+        }
+        (Some(f), None) => render_section(&mut out, section_for(false), f, true),
+        (None, Some(q)) => render_section(&mut out, section_for(true), q, true),
+        (None, None) => out.push_str("  \"benches\": []\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The pipelined side of a bench must clear this wall-clock floor before
+/// its timing ratio is compared: below a few milliseconds, scheduler
+/// jitter on a shared CI runner routinely exceeds any sane tolerance, so
+/// a ratio check would only produce flakes — and a bench whose pipelined
+/// side still finishes under the floor cannot hide a regression of
+/// practical size. A slow pipelined side is always checked, however tiny
+/// the reference side. Output equality is enforced regardless.
+pub const MIN_COMPARABLE_WALL_S: f64 = 0.005;
+
+/// Compares `records` against the matching mode section of a committed
+/// baseline JSON. A bench regresses when its `relative_cost` (pipelined ÷
+/// reference, measured on the *same* machine) grows by more than
+/// `tolerance` (0.25 = 25 %) over the baseline's, or when outputs stop
+/// matching. Absolute seconds are deliberately not compared — CI machines
+/// differ from the one that committed the baseline — and benches whose
+/// pipelined side runs below [`MIN_COMPARABLE_WALL_S`] are exempt from
+/// the ratio check (timing noise, not signal).
+///
+/// One asymmetry to know about: the committed baseline records its core
+/// count, and more cores lower the true relative cost (the pipelined
+/// engine parallelizes where the reference engine is serial). Checking a
+/// multi-core run against a lower-core baseline therefore only adds
+/// slack — the gate never false-fails from core count, it just catches
+/// only grosser regressions until the baseline is regenerated on
+/// runner-shaped hardware.
+pub fn check_regression(
+    baseline_json: &str,
+    records: &[BenchRecord],
+    fast: bool,
+    tolerance: f64,
+) -> Result<(), Vec<String>> {
+    let baseline = match serde_json::parse(baseline_json) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("baseline JSON unreadable: {e:?}")]),
+    };
+    let section = section_for(fast);
+    let mut errors = Vec::new();
+    let benches = match baseline.get(section).and_then(|b| match b {
+        serde_json::Value::Array(items) => Some(items.clone()),
+        _ => None,
+    }) {
+        Some(items) => items,
+        None => {
+            return Err(vec![format!(
+                "baseline has no \"{section}\" section — regenerate it with --baseline"
+            )])
+        }
+    };
+    for r in records {
+        if !r.outputs_match {
+            errors.push(format!("{}: outputs diverged between engines", r.name));
+        }
+        let base = benches.iter().find(|b| {
+            b.get("name")
+                .and_then(|n| match n {
+                    serde_json::Value::Str(s) => Some(s == r.name),
+                    _ => None,
+                })
+                .unwrap_or(false)
+        });
+        let Some(base) = base else {
+            errors.push(format!("{}: missing from baseline", r.name));
+            continue;
+        };
+        if r.wall_s < MIN_COMPARABLE_WALL_S {
+            // Too fast to time meaningfully on a shared runner; output
+            // equality above is the whole check.
+            continue;
+        }
+        let Some(base_cost) = base
+            .get("relative_cost")
+            .and_then(serde_json::Value::as_f64)
+        else {
+            // A silent default here could mask a real regression (e.g. a
+            // true cost of 0.38 judged against 1.0); fail loudly instead.
+            errors.push(format!(
+                "{}: baseline entry has no numeric relative_cost — regenerate the baseline",
+                r.name
+            ));
+            continue;
+        };
+        let allowed = base_cost * (1.0 + tolerance);
+        if r.relative_cost() > allowed {
+            errors.push(format!(
+                "{}: relative cost {:.4} exceeds baseline {:.4} by more than {:.0}% (limit {:.4})",
+                r.name,
+                r.relative_cost(),
+                base_cost,
+                tolerance * 100.0,
+                allowed
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &'static str, wall: f64, reference: f64) -> BenchRecord {
+        BenchRecord {
+            name,
+            wall_s: wall,
+            reference_wall_s: reference,
+            items_per_s: 1.0,
+            outputs_match: true,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_vendored_parser() {
+        let full = vec![record("haar_forward", 0.5, 1.0)];
+        let fast = vec![record("haar_forward", 0.1, 0.15)];
+        let json = render_json(Some(&full), Some(&fast), 3);
+        let v = serde_json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("schema"),
+            Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
+        );
+        // Round-trip gate: the file we commit must satisfy our own checker,
+        // per mode section.
+        check_regression(&json, &full, false, 0.25).expect("full self-comparison");
+        check_regression(&json, &fast, true, 0.25).expect("fast self-comparison");
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance() {
+        let baseline = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
+        // Same relative cost: fine.
+        check_regression(&baseline, &[record("x", 1.0, 2.0)], false, 0.25).expect("no regression");
+        // 2× relative cost: flagged.
+        let got = check_regression(&baseline, &[record("x", 1.0, 1.0)], false, 0.25);
+        assert!(got.is_err());
+        // Diverged outputs always fail.
+        let mut bad = record("x", 0.5, 1.0);
+        bad.outputs_match = false;
+        assert!(check_regression(&baseline, &[bad], false, 0.25).is_err());
+    }
+
+    #[test]
+    fn modes_regress_only_against_their_own_section() {
+        let full_only = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
+        // A fast-mode run cannot be judged against a full-only baseline.
+        let err = check_regression(&full_only, &[record("x", 0.5, 1.0)], true, 0.25).unwrap_err();
+        assert!(err[0].contains("fast_benches"), "{err:?}");
+    }
+
+    #[test]
+    fn sub_millisecond_benches_skip_the_ratio_check() {
+        let baseline = render_json(Some(&[record("tiny", 0.0001, 0.0002)]), None, 3);
+        // 10x relative-cost growth, but the pipelined side is below the
+        // noise floor: only output equality is enforced.
+        check_regression(&baseline, &[record("tiny", 0.002, 0.0004)], false, 0.25)
+            .expect("noise-floor benches are exempt from ratio checks");
+        let mut bad = record("tiny", 0.0001, 0.0002);
+        bad.outputs_match = false;
+        assert!(check_regression(&baseline, &[bad], false, 0.25).is_err());
+        // A pipelined side well above the floor is checked even against a
+        // tiny reference side — that shape is a real regression.
+        assert!(check_regression(&baseline, &[record("tiny", 0.1, 0.0004)], false, 0.25).is_err());
+    }
+
+    #[test]
+    fn baseline_without_relative_cost_fails_loudly() {
+        let baseline = r#"{"schema": "wh-bench-suite/1", "benches": [{"name": "x"}]}"#;
+        let err = check_regression(baseline, &[record("x", 1.0, 1.0)], false, 0.25).unwrap_err();
+        assert!(
+            err.iter().any(|e| e.contains("no numeric relative_cost")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_bench_in_baseline_is_an_error() {
+        let baseline = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
+        let err = check_regression(&baseline, &[record("y", 0.5, 1.0)], false, 0.25).unwrap_err();
+        assert!(
+            err.iter().any(|e| e.contains("missing from baseline")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fast_suite_smoke() {
+        // The real thing, tiny: engines must agree on every bench.
+        let records = run_suite(SuiteOptions {
+            fast: true,
+            repeats: 1,
+        });
+        assert_eq!(records.len(), 5);
+        for r in &records {
+            assert!(r.outputs_match, "{} outputs diverged", r.name);
+            assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);
+        }
+    }
+}

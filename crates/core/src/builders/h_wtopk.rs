@@ -26,7 +26,9 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::{Sized as WSized, WKey};
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask, RunMetrics, StateStore};
+use wh_mapreduce::{
+    run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics, StateStore,
+};
 use wh_topk::Coordinator;
 use wh_wavelet::hash::{FxHashMap, FxHashSet};
 use wh_wavelet::select::TopBottomK;
@@ -51,12 +53,20 @@ struct SplitState {
 
 /// The H-WTopk exact builder.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct HWTopk;
+pub struct HWTopk {
+    engine: EngineConfig,
+}
 
 impl HWTopk {
     /// Creates the builder.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -136,7 +146,7 @@ impl HistogramBuilder for HWTopk {
                 })
             })
             .collect();
-        let reduce = Box::new(
+        let reduce =
             |key: &WKey,
              vals: &[Payload],
              ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
@@ -145,9 +155,11 @@ impl HistogramBuilder for HWTopk {
                     let (flags, split, w) = v.value;
                     ctx.emit((key.id, flags, split, w));
                 }
-            },
+            };
+        let out = run_job(
+            cluster,
+            JobSpec::new("h-wtopk-r1", map_tasks, reduce).with_engine(self.engine),
         );
-        let out = run_job(cluster, JobSpec::new("h-wtopk-r1", map_tasks, reduce));
         metrics.absorb(&out.metrics);
 
         // Coordinator: group round-1 messages per node.
@@ -187,7 +199,7 @@ impl HistogramBuilder for HWTopk {
                 })
             })
             .collect();
-        let reduce = Box::new(
+        let reduce =
             |key: &WKey,
              vals: &[Payload],
              ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
@@ -196,12 +208,13 @@ impl HistogramBuilder for HWTopk {
                     let (flags, split, w) = v.value;
                     ctx.emit((key.id, flags, split, w));
                 }
-            },
-        );
+            };
         // T₁/m rides the Job Configuration: one 8-byte double.
         let out = run_job(
             cluster,
-            JobSpec::new("h-wtopk-r2", map_tasks, reduce).with_broadcast(8),
+            JobSpec::new("h-wtopk-r2", map_tasks, reduce)
+                .with_engine(self.engine)
+                .with_broadcast(8),
         );
         metrics.absorb(&out.metrics);
         let mut per_node: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
@@ -230,7 +243,7 @@ impl HistogramBuilder for HWTopk {
                 })
             })
             .collect();
-        let reduce = Box::new(
+        let reduce =
             |key: &WKey,
              vals: &[Payload],
              ctx: &mut wh_mapreduce::ReduceContext<(u64, u8, u32, f64)>| {
@@ -239,12 +252,12 @@ impl HistogramBuilder for HWTopk {
                     let (flags, split, w) = v.value;
                     ctx.emit((key.id, flags, split, w));
                 }
-            },
-        );
+            };
         // R rides the Distributed Cache: 4 bytes per candidate id.
         let out = run_job(
             cluster,
             JobSpec::new("h-wtopk-r3", map_tasks, reduce)
+                .with_engine(self.engine)
                 .with_broadcast(4 * candidates.len() as u64),
         );
         metrics.absorb(&out.metrics);

@@ -15,7 +15,7 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::{Sized as WSized, WKey};
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask};
 use wh_sampling::SamplingConfig;
 use wh_wavelet::hash::FxHashMap;
 use wh_wavelet::select::top_k_magnitude;
@@ -25,12 +25,23 @@ use wh_wavelet::select::top_k_magnitude;
 pub struct ImprovedS {
     epsilon: f64,
     seed: u64,
+    engine: EngineConfig,
 }
 
 impl ImprovedS {
     /// Improved sampling with error parameter `ε` and a sampling seed.
     pub fn new(epsilon: f64, seed: u64) -> Self {
-        Self { epsilon, seed }
+        Self {
+            epsilon,
+            seed,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -60,30 +71,35 @@ impl HistogramBuilder for ImprovedS {
 
         let s: Arc<Mutex<FxHashMap<u64, u64>>> = Arc::new(Mutex::new(FxHashMap::default()));
         let s_reduce = Arc::clone(&s);
-        let reduce = Box::new(
-            move |key: &WKey,
-                  vals: &[WSized<u64>],
-                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
-                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-                s_reduce
-                    .lock()
-                    .insert(key.id, vals.iter().map(|v| v.value).sum());
-            },
-        );
+        let reduce = move |key: &WKey,
+                           vals: &[WSized<u64>],
+                           ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+            ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+            s_reduce
+                .lock()
+                .insert(key.id, vals.iter().map(|v| v.value).sum());
+        };
         let s_finish = Arc::clone(&s);
         let p = cfg.p();
-        let spec = JobSpec::new("improved-s", map_tasks, reduce).with_finish(move |ctx| {
-            let s = s_finish.lock();
-            let coefs = wh_wavelet::sparse::sparse_transform(
-                domain,
-                s.iter().map(|(&x, &c)| (x, c as f64 / p)),
-            );
-            ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
-            ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
-            for e in top_k_magnitude(coefs, k) {
-                ctx.emit((e.slot, e.value));
-            }
-        });
+        let spec = JobSpec::new("improved-s", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let s = s_finish.lock();
+                // Iterate the shared accumulator in key order: with parallel reduce
+                // partitions, hash-map layout depends on racy cross-partition
+                // insertion interleaving, and float accumulation must not.
+                let mut entries: Vec<(u64, u64)> = s.iter().map(|(&x, &c)| (x, c)).collect();
+                entries.sort_unstable_by_key(|&(x, _)| x);
+                let coefs = wh_wavelet::sparse::sparse_transform(
+                    domain,
+                    entries.iter().map(|&(x, c)| (x, c as f64 / p)),
+                );
+                ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
+                ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
+                for e in top_k_magnitude(coefs, k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

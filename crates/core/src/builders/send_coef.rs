@@ -15,18 +15,26 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::WKey;
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask};
 use wh_wavelet::hash::FxHashMap;
 use wh_wavelet::select::top_k_magnitude;
 
 /// The Send-Coef baseline.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SendCoef;
+pub struct SendCoef {
+    engine: EngineConfig,
+}
 
 impl SendCoef {
     /// Creates the builder.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -66,20 +74,26 @@ impl HistogramBuilder for SendCoef {
 
         let acc: Arc<Mutex<FxHashMap<u64, f64>>> = Arc::new(Mutex::new(FxHashMap::default()));
         let acc_reduce = Arc::clone(&acc);
-        let reduce = Box::new(
+        let reduce =
             move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
                 ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
                 acc_reduce.lock().insert(key.id, vals.iter().sum());
-            },
-        );
+            };
         let acc_finish = Arc::clone(&acc);
-        let spec = JobSpec::new("send-coef", map_tasks, reduce).with_finish(move |ctx| {
-            let w = acc_finish.lock();
-            ctx.charge(w.len() as f64 * ops::HEAP_OFFER);
-            for e in top_k_magnitude(w.iter().map(|(&s, &c)| (s, c)), k) {
-                ctx.emit((e.slot, e.value));
-            }
-        });
+        let spec = JobSpec::new("send-coef", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let w = acc_finish.lock();
+                // Iterate the shared accumulator in key order: with parallel reduce
+                // partitions, hash-map layout depends on racy cross-partition
+                // insertion interleaving, and float accumulation must not.
+                let mut entries: Vec<(u64, f64)> = w.iter().map(|(&s, &c)| (s, c)).collect();
+                entries.sort_unstable_by_key(|&(s, _)| s);
+                ctx.charge(w.len() as f64 * ops::HEAP_OFFER);
+                for e in top_k_magnitude(entries.iter().copied(), k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

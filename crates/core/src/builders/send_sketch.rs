@@ -18,7 +18,7 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::WKey;
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask};
 use wh_sketch::{GcsParams, GroupCountSketch};
 use wh_wavelet::hash::FxHashMap;
 
@@ -29,17 +29,28 @@ pub struct SendSketch {
     /// Override for the sketch parameters; `None` = paper default
     /// (GCS-8 at 20 KB·log₂u).
     params: Option<GcsParams>,
+    engine: EngineConfig,
 }
 
 impl SendSketch {
     /// GCS Send-Sketch with the paper's default sizing.
     pub fn new(seed: u64) -> Self {
-        Self { seed, params: None }
+        Self {
+            seed,
+            params: None,
+            engine: EngineConfig::default(),
+        }
     }
 
     /// Overrides the sketch parameters (branching-factor ablations).
     pub fn with_params(mut self, params: GcsParams) -> Self {
         self.params = Some(params);
+        self
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -87,29 +98,30 @@ impl HistogramBuilder for SendSketch {
         let merged: Arc<Mutex<GroupCountSketch>> =
             Arc::new(Mutex::new(GroupCountSketch::new(domain, params)));
         let merged_reduce = Arc::clone(&merged);
-        let reduce = Box::new(
+        let reduce =
             move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
                 ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
                 merged_reduce.lock().add_counter(key.id, vals.iter().sum());
-            },
-        );
+            };
         let merged_finish = Arc::clone(&merged);
-        let spec = JobSpec::new("send-sketch", map_tasks, reduce).with_finish(move |ctx| {
-            let sketch = merged_finish.lock();
-            let budget = 8 * k.max(1) * domain.log_u().max(1) as usize;
-            let top = sketch.topk(k, budget);
-            // Best-first descent: each expansion probes `branching` child
-            // groups over `rows` rows of `subbuckets` counters.
-            ctx.charge(
-                budget as f64
-                    * params.branching as f64
-                    * params.rows as f64
-                    * params.subbuckets as f64,
-            );
-            for e in top {
-                ctx.emit((e.slot, e.value));
-            }
-        });
+        let spec = JobSpec::new("send-sketch", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let sketch = merged_finish.lock();
+                let budget = 8 * k.max(1) * domain.log_u().max(1) as usize;
+                let top = sketch.topk(k, budget);
+                // Best-first descent: each expansion probes `branching` child
+                // groups over `rows` rows of `subbuckets` counters.
+                ctx.charge(
+                    budget as f64
+                        * params.branching as f64
+                        * params.rows as f64
+                        * params.subbuckets as f64,
+                );
+                for e in top {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

@@ -15,7 +15,7 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::WKey;
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask};
 use wh_sketch::AmsWaveletSketch;
 use wh_wavelet::hash::FxHashMap;
 
@@ -25,6 +25,7 @@ pub struct SendSketchAms {
     seed: u64,
     rows: usize,
     cols: usize,
+    engine: EngineConfig,
 }
 
 impl SendSketchAms {
@@ -35,6 +36,7 @@ impl SendSketchAms {
             seed,
             rows: 5,
             cols: 0,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -42,6 +44,12 @@ impl SendSketchAms {
     pub fn with_dims(mut self, rows: usize, cols: usize) -> Self {
         self.rows = rows;
         self.cols = cols;
+        self
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -95,21 +103,22 @@ impl HistogramBuilder for SendSketchAms {
         let merged: Arc<Mutex<AmsWaveletSketch>> =
             Arc::new(Mutex::new(AmsWaveletSketch::new(domain, rows, cols, seed)));
         let merged_reduce = Arc::clone(&merged);
-        let reduce = Box::new(
+        let reduce =
             move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
                 ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
                 merged_reduce.lock().add_counter(key.id, vals.iter().sum());
-            },
-        );
+            };
         let merged_finish = Arc::clone(&merged);
-        let spec = JobSpec::new("send-sketch-ams", map_tasks, reduce).with_finish(move |ctx| {
-            let sketch = merged_finish.lock();
-            // Exhaustive query: probe every slot.
-            ctx.charge(domain.u_f64() * rows as f64 * ops::SKETCH_ROW_UPDATE);
-            for e in sketch.topk_exhaustive(k) {
-                ctx.emit((e.slot, e.value));
-            }
-        });
+        let spec = JobSpec::new("send-sketch-ams", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let sketch = merged_finish.lock();
+                // Exhaustive query: probe every slot.
+                ctx.charge(domain.u_f64() * rows as f64 * ops::SKETCH_ROW_UPDATE);
+                for e in sketch.topk_exhaustive(k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

@@ -15,18 +15,26 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::Dataset;
 use wh_mapreduce::wire::{Sized as WSized, WKey};
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask};
 use wh_wavelet::hash::FxHashMap;
 use wh_wavelet::select::top_k_magnitude;
 
 /// The Send-V baseline.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SendV;
+pub struct SendV {
+    engine: EngineConfig,
+}
 
 impl SendV {
     /// Creates the builder.
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -65,29 +73,34 @@ impl HistogramBuilder for SendV {
         // transform + top-k in Close.
         let v: Arc<Mutex<FxHashMap<u64, u64>>> = Arc::new(Mutex::new(FxHashMap::default()));
         let v_reduce = Arc::clone(&v);
-        let reduce = Box::new(
-            move |key: &WKey,
-                  vals: &[WSized<u64>],
-                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
-                let total: u64 = vals.iter().map(|s| s.value).sum();
-                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-                v_reduce.lock().insert(key.id, total);
-            },
-        );
+        let reduce = move |key: &WKey,
+                           vals: &[WSized<u64>],
+                           ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+            let total: u64 = vals.iter().map(|s| s.value).sum();
+            ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+            v_reduce.lock().insert(key.id, total);
+        };
         let v_finish = Arc::clone(&v);
-        let spec = JobSpec::new("send-v", map_tasks, reduce).with_finish(move |ctx| {
-            let v = v_finish.lock();
-            // Sparse transform at the reducer: O(|v| log u).
-            let coefs = wh_wavelet::sparse::sparse_transform(
-                domain,
-                v.iter().map(|(&x, &c)| (x, c as f64)),
-            );
-            ctx.charge(v.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
-            ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
-            for e in top_k_magnitude(coefs, k) {
-                ctx.emit((e.slot, e.value));
-            }
-        });
+        let spec = JobSpec::new("send-v", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let v = v_finish.lock();
+                // Iterate the shared accumulator in key order: with parallel reduce
+                // partitions, hash-map layout depends on racy cross-partition
+                // insertion interleaving, and float accumulation must not.
+                let mut entries: Vec<(u64, u64)> = v.iter().map(|(&x, &c)| (x, c)).collect();
+                entries.sort_unstable_by_key(|&(x, _)| x);
+                // Sparse transform at the reducer: O(|v| log u).
+                let coefs = wh_wavelet::sparse::sparse_transform(
+                    domain,
+                    entries.iter().map(|&(x, c)| (x, c as f64)),
+                );
+                ctx.charge(v.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
+                ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
+                for e in top_k_magnitude(coefs, k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

@@ -17,7 +17,7 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::{Dataset, SplitMix64};
 use wh_mapreduce::wire::WKey;
-use wh_mapreduce::{run_job, ClusterConfig, JobSpec, MapTask, WireSize};
+use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, WireSize};
 use wh_sampling::{SamplingConfig, TwoLevelAccumulator, TwoLevelPair};
 use wh_wavelet::hash::FxHashMap;
 use wh_wavelet::select::top_k_magnitude;
@@ -43,6 +43,7 @@ pub struct TwoLevelS {
     epsilon: f64,
     seed: u64,
     threshold_exponent: f64,
+    engine: EngineConfig,
 }
 
 impl TwoLevelS {
@@ -52,6 +53,7 @@ impl TwoLevelS {
             epsilon,
             seed,
             threshold_exponent: 0.5,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -60,6 +62,12 @@ impl TwoLevelS {
     /// √m choice is the communication sweet spot.
     pub fn with_threshold_exponent(mut self, gamma: f64) -> Self {
         self.threshold_exponent = gamma;
+        self
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -99,31 +107,36 @@ impl HistogramBuilder for TwoLevelS {
         let s: Arc<Mutex<FxHashMap<u64, TwoLevelAccumulator>>> =
             Arc::new(Mutex::new(FxHashMap::default()));
         let s_reduce = Arc::clone(&s);
-        let reduce = Box::new(
-            move |key: &WKey,
-                  vals: &[TlValue],
-                  ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
-                ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
-                let mut acc = TwoLevelAccumulator::default();
-                for v in vals {
-                    acc.absorb(v.0);
-                }
-                s_reduce.lock().insert(key.id, acc);
-            },
-        );
-        let s_finish = Arc::clone(&s);
-        let spec = JobSpec::new("two-level-s", map_tasks, reduce).with_finish(move |ctx| {
-            let s = s_finish.lock();
-            let coefs = wh_wavelet::sparse::sparse_transform(
-                domain,
-                s.iter().map(|(&x, acc)| (x, acc.estimate_v(&cfg))),
-            );
-            ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
-            ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
-            for e in top_k_magnitude(coefs, k) {
-                ctx.emit((e.slot, e.value));
+        let reduce = move |key: &WKey,
+                           vals: &[TlValue],
+                           ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+            ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+            let mut acc = TwoLevelAccumulator::default();
+            for v in vals {
+                acc.absorb(v.0);
             }
-        });
+            s_reduce.lock().insert(key.id, acc);
+        };
+        let s_finish = Arc::clone(&s);
+        let spec = JobSpec::new("two-level-s", map_tasks, reduce)
+            .with_engine(self.engine)
+            .with_finish(move |ctx| {
+                let s = s_finish.lock();
+                // Iterate the shared accumulator in key order: with parallel reduce
+                // partitions, hash-map layout depends on racy cross-partition
+                // insertion interleaving, and float accumulation must not.
+                let mut entries: Vec<(u64, f64)> = s
+                    .iter()
+                    .map(|(&x, acc)| (x, acc.estimate_v(&cfg)))
+                    .collect();
+                entries.sort_unstable_by_key(|&(x, _)| x);
+                let coefs = wh_wavelet::sparse::sparse_transform(domain, entries.iter().copied());
+                ctx.charge(s.len() as f64 * (domain.log_u() + 1) as f64 * ops::COEF_UPDATE);
+                ctx.charge(coefs.len() as f64 * ops::HEAP_OFFER);
+                for e in top_k_magnitude(coefs, k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
 
         let out = run_job(cluster, spec);
         let histogram = WaveletHistogram::new(domain, out.outputs);

@@ -172,6 +172,7 @@ pub fn h_wtopk2d(dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> Buil
             bytes_scanned: records * 8,
             cpu_ops,
             sim_time_s,
+            ..Default::default()
         },
     }
 }

@@ -1,0 +1,714 @@
+//! The pipelined, partition-parallel execution engine.
+//!
+//! ```text
+//!  map workers (N threads)          shuffle              reduce workers (P threads)
+//! ┌──────────────────────────┐                        ┌───────────────────────────┐
+//! │ task → MapContext        │   regroup runs by      │ partition 0: k-way merge  │
+//! │   ├─ streaming combine   │   partition, splits    │   of m sorted runs        │──┐
+//! │   ├─ partition pairs     │   stay in id order     │   → reduce(key, values)   │  │ stitch
+//! │   └─ sort each partition │ ─────────────────────▶ │ partition 1: …            │──┼─▶ outputs
+//! │      run by (key,arrive) │                        │ …                         │  │ + finish
+//! │      = the "spill"       │                        │ partition R-1: …          │──┘
+//! └──────────────────────────┘                        └───────────────────────────┘
+//! ```
+//!
+//! Three properties make this both fast and exactly deterministic:
+//!
+//! 1. **Spills are pre-sorted per partition inside the map workers.** The
+//!    expensive `O(n log n)` comparison work happens in parallel, and the
+//!    old single-threaded global sort disappears entirely.
+//! 2. **The shuffle is a k-way merge per partition.** Each partition merges
+//!    its `m` sorted runs through an `m`-entry binary heap — `O(n log m)`
+//!    comparisons on `(key, split)` only. The partition component never
+//!    enters a comparison (each merge *is* one partition), and keys are
+//!    moved, never cloned.
+//! 3. **Reduce partitions run in parallel with deterministic stitching.**
+//!    Every partition gets its own [`ReduceContext`]; outputs and charged
+//!    CPU are recombined in partition-index order, so the result — outputs,
+//!    metrics, and float summation order — is identical for any
+//!    `reducer_parallelism`, including 1.
+//!
+//! The determinism contract of the seed engine is preserved exactly: within
+//! a partition, the reduce function observes key groups in key order and
+//! each group's values in `(split id, arrival order)` order. The seed
+//! engine itself survives as [`crate::reference::run_job_reference`] — an
+//! executable specification that differential tests and `wh-bench` compare
+//! this engine against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::context::{MapContext, ReduceContext};
+use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
+use crate::job::{CombineFn, JobOutput, JobSpec, MapTask};
+use crate::metrics::RunMetrics;
+use crate::wire::WireSize;
+use wh_wavelet::hash::{FxHashMap, FxHasher};
+
+/// Borrowed form of the shared reduce function, passed into the merge
+/// machinery.
+type ReduceDyn<K, V, R> = dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync;
+
+/// Which executor [`crate::run_job`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The pipelined, partition-parallel engine in this module.
+    #[default]
+    Pipelined,
+    /// The seed engine (global sort + sequential reduce), kept as the
+    /// executable specification and benchmark baseline.
+    Reference,
+}
+
+/// Execution-engine knobs, orthogonal to the algorithmic content of a
+/// [`JobSpec`]. Every knob preserves the deterministic output contract;
+/// they only trade memory, parallelism, and constant factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Executor selection (pipelined vs the seed reference engine).
+    pub mode: EngineMode,
+    /// Number of reduce partitions (the paper always uses 1).
+    pub num_reducers: u32,
+    /// Reduce-side worker threads; `0` means one per available core,
+    /// capped at the partition count.
+    pub reducer_parallelism: usize,
+    /// Apply the Combine function incrementally at emit time instead of
+    /// materializing every raw pair until the task ends. Requires the
+    /// combiner to be associative (Hadoop's combiner contract); all
+    /// engine-visible metrics are byte-identical to batch combining.
+    pub streaming_combine: bool,
+    /// Pair-buffer size that triggers an in-flight combine when streaming;
+    /// `0` combines only once, when the spill is collected.
+    pub spill_chunk: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: EngineMode::Pipelined,
+            num_reducers: 1,
+            reducer_parallelism: 0,
+            streaming_combine: false,
+            spill_chunk: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default pipelined configuration.
+    pub fn pipelined() -> Self {
+        Self::default()
+    }
+
+    /// The seed reference engine (global sort, sequential reduce).
+    pub fn reference() -> Self {
+        Self {
+            mode: EngineMode::Reference,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the number of reduce partitions.
+    pub fn with_reducers(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one reducer");
+        self.num_reducers = n;
+        self
+    }
+
+    /// Sets the reduce-side thread count (`0` = one per available core).
+    pub fn with_reducer_parallelism(mut self, threads: usize) -> Self {
+        self.reducer_parallelism = threads;
+        self
+    }
+
+    /// Toggles streaming (emit-time) combining.
+    pub fn with_streaming_combine(mut self, on: bool) -> Self {
+        self.streaming_combine = on;
+        self
+    }
+
+    /// Sets the spill chunk size for streaming combining.
+    pub fn with_spill_chunk(mut self, pairs: usize) -> Self {
+        self.spill_chunk = pairs;
+        self
+    }
+}
+
+/// The default partitioner: a deterministic Fx hash of the key. With one
+/// reducer every key lands in partition 0 either way; with several, keys
+/// spread evenly without any per-job configuration.
+pub fn default_partition<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Groups `pairs` by key (preserving each key's value arrival order),
+/// applies the Combine function once per key, and returns the surviving
+/// pairs in ascending key order. Shared by the streaming compactor, the
+/// batch combine path, and the reference engine, so all three agree on
+/// combiner semantics byte for byte.
+pub(crate) fn group_combine<K, V>(
+    pairs: Vec<(K, V)>,
+    comb: &(dyn Fn(&K, &mut Vec<V>) + Send + Sync),
+) -> Vec<(K, V)>
+where
+    K: Ord + Hash + Clone,
+{
+    let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
+    for (k, v) in pairs {
+        groups.entry(k).or_default().push(v);
+    }
+    let mut keys: Vec<K> = groups.keys().cloned().collect();
+    keys.sort_unstable();
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let mut vs = groups.remove(&k).expect("key collected from this map");
+        comb(&k, &mut vs);
+        for v in vs {
+            out.push((k.clone(), v));
+        }
+    }
+    out
+}
+
+/// One map task's spill: per-partition runs, each sorted by
+/// `(key, arrival order)`, plus the task's accounting.
+struct TaskSpill<K, V> {
+    split_id: u32,
+    runs: Vec<Vec<(K, V)>>,
+    work: TaskWork,
+    records_read: u64,
+    pairs: u64,
+    bytes: u64,
+}
+
+/// Executes one round on the pipelined engine. Entry point is
+/// [`crate::run_job`], which dispatches on [`EngineConfig::mode`].
+pub(crate) fn execute<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
+where
+    K: Ord + Hash + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
+    R: Send,
+{
+    let JobSpec {
+        map_tasks,
+        combiner,
+        partitioner,
+        reduce,
+        broadcast_bytes,
+        finish,
+        engine,
+        ..
+    } = spec;
+    assert!(engine.num_reducers >= 1, "need at least one reducer");
+    let nparts = engine.num_reducers as usize;
+
+    // ---- Map phase (parallel): run, combine, partition, sort — all
+    // inside the worker thread that owns the task. ----
+    let map_start = Instant::now();
+    let task_queue: Vec<Mutex<Option<MapTask<K, V>>>> =
+        map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let spills: Mutex<Vec<TaskSpill<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(task_queue.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= task_queue.len() {
+                    break;
+                }
+                let task = task_queue[i].lock().take().expect("each task taken once");
+                let mut ctx = MapContext::new(task.split_id);
+                if engine.streaming_combine {
+                    if let Some(comb) = &combiner {
+                        ctx.install_compactor(
+                            make_compactor(CombineFn::clone(comb)),
+                            engine.spill_chunk,
+                        );
+                    }
+                }
+                (task.run)(&mut ctx);
+                let MapContext {
+                    mut pairs,
+                    compactor,
+                    records_read,
+                    bytes_read,
+                    cpu_ops,
+                    ..
+                } = ctx;
+                if let Some(compact) = &compactor {
+                    // Streaming mode: one final full grouping so every key
+                    // ends fully combined, exactly like the batch path.
+                    compact(&mut pairs);
+                } else if let Some(comb) = &combiner {
+                    pairs = group_combine(pairs, comb.as_ref());
+                }
+                let mut npairs = 0u64;
+                let mut nbytes = 0u64;
+                for (k, v) in &pairs {
+                    npairs += 1;
+                    nbytes += k.wire_bytes() + v.wire_bytes();
+                }
+                let mut runs: Vec<Vec<(K, V)>> = if nparts == 1 {
+                    vec![pairs]
+                } else {
+                    // Reserve the expected per-partition share up front so
+                    // the scatter loop rarely reallocates.
+                    let expect = pairs.len() / nparts + 16;
+                    let mut rs: Vec<Vec<(K, V)>> =
+                        (0..nparts).map(|_| Vec::with_capacity(expect)).collect();
+                    for (k, v) in pairs {
+                        let p = (partitioner(&k) % nparts as u64) as usize;
+                        rs[p].push((k, v));
+                    }
+                    rs
+                };
+                for run in &mut runs {
+                    // Stable by key: arrival order within a key survives.
+                    run.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+                spills.lock().push(TaskSpill {
+                    split_id: task.split_id,
+                    runs,
+                    work: TaskWork {
+                        bytes_scanned: bytes_read,
+                        cpu_ops,
+                    },
+                    records_read,
+                    pairs: npairs,
+                    bytes: nbytes,
+                });
+            });
+        }
+        // std::thread::scope joins all workers and re-raises any panic.
+    });
+
+    let mut per_task = spills.into_inner();
+    per_task.sort_by_key(|t| t.split_id);
+    let wall_map_s = map_start.elapsed().as_secs_f64();
+
+    // ---- Shuffle: regroup spill runs into per-partition merge inputs
+    // (runs stay in split-id order) and account communication. ----
+    let shuffle_start = Instant::now();
+    let mut metrics = RunMetrics {
+        rounds: 1,
+        broadcast_bytes,
+        ..Default::default()
+    };
+    let mut task_work = Vec::with_capacity(per_task.len());
+    let mut partitions: Vec<Vec<Vec<(K, V)>>> = (0..nparts)
+        .map(|_| Vec::with_capacity(per_task.len()))
+        .collect();
+    for t in per_task {
+        task_work.push(t.work);
+        metrics.records_scanned += t.records_read;
+        metrics.bytes_scanned += t.work.bytes_scanned;
+        metrics.cpu_ops += t.work.cpu_ops;
+        metrics.map_output_pairs += t.pairs;
+        metrics.shuffle_bytes += t.bytes;
+        for (p, run) in t.runs.into_iter().enumerate() {
+            if !run.is_empty() {
+                partitions[p].push(run);
+            }
+        }
+    }
+    let wall_shuffle_s = shuffle_start.elapsed().as_secs_f64();
+
+    // ---- Reduce phase: one context per partition, optionally in
+    // parallel, stitched in partition-index order. ----
+    let reduce_start = Instant::now();
+    let threads = if engine.reducer_parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        engine.reducer_parallelism
+    }
+    .min(nparts)
+    .max(1);
+
+    let contexts: Vec<ReduceContext<R>> = if threads <= 1 {
+        partitions
+            .into_iter()
+            .map(|runs| {
+                let mut rctx = ReduceContext::new();
+                reduce_partition(runs, reduce.as_ref(), &mut rctx);
+                rctx
+            })
+            .collect()
+    } else {
+        type Slot<K, V, R> = Mutex<(Option<Vec<Vec<(K, V)>>>, Option<ReduceContext<R>>)>;
+        let slots: Vec<Slot<K, V, R>> = partitions
+            .into_iter()
+            .map(|runs| Mutex::new((Some(runs), None)))
+            .collect();
+        let next_part = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let p = next_part.fetch_add(1, Ordering::Relaxed);
+                    if p >= slots.len() {
+                        break;
+                    }
+                    let runs = slots[p].lock().0.take().expect("each partition taken once");
+                    let mut rctx = ReduceContext::new();
+                    reduce_partition(runs, reduce.as_ref(), &mut rctx);
+                    slots[p].lock().1 = Some(rctx);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().1.expect("every partition reduced"))
+            .collect()
+    };
+
+    // Deterministic stitching: outputs and charged CPU recombine in
+    // partition order, so float summation order is independent of the
+    // thread count.
+    let mut outputs = Vec::new();
+    let mut reduce_cpu = 0.0f64;
+    for mut rctx in contexts {
+        reduce_cpu += rctx.cpu_ops;
+        outputs.append(&mut rctx.outputs);
+    }
+    if let Some(f) = finish {
+        let mut rctx = ReduceContext::new();
+        f(&mut rctx);
+        reduce_cpu += rctx.cpu_ops;
+        outputs.append(&mut rctx.outputs);
+    }
+    let wall_reduce_s = reduce_start.elapsed().as_secs_f64();
+
+    metrics.cpu_ops += reduce_cpu;
+    metrics.sim_time_s = round_time(
+        cluster,
+        &task_work,
+        ReduceWork {
+            cpu_ops: reduce_cpu,
+        },
+        metrics.shuffle_bytes,
+        metrics.broadcast_bytes,
+    );
+    metrics.wall_map_s = wall_map_s;
+    metrics.wall_shuffle_s = wall_shuffle_s;
+    metrics.wall_reduce_s = wall_reduce_s;
+
+    JobOutput { outputs, metrics }
+}
+
+fn make_compactor<K, V>(comb: CombineFn<K, V>) -> crate::context::Compactor<K, V>
+where
+    K: Ord + Hash + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    Box::new(move |pairs| {
+        if pairs.len() > 1 {
+            *pairs = group_combine(std::mem::take(pairs), comb.as_ref());
+        }
+    })
+}
+
+/// Reduces one partition: merges its sorted runs and invokes `reduce` per
+/// key group, values in `(split id, arrival order)` order.
+fn reduce_partition<K, V, R>(
+    runs: Vec<Vec<(K, V)>>,
+    reduce: &ReduceDyn<K, V, R>,
+    rctx: &mut ReduceContext<R>,
+) where
+    K: Ord,
+{
+    match runs.len() {
+        0 => {}
+        1 => {
+            let run = runs.into_iter().next().expect("one run");
+            reduce_sorted_run(run, reduce, rctx);
+        }
+        _ => merge_runs(runs, reduce, rctx),
+    }
+}
+
+/// Groups adjacent equal keys of one already-sorted run — no comparisons
+/// beyond equality, no heap.
+fn reduce_sorted_run<K, V, R>(
+    run: Vec<(K, V)>,
+    reduce: &ReduceDyn<K, V, R>,
+    rctx: &mut ReduceContext<R>,
+) where
+    K: Ord,
+{
+    let mut iter = run.into_iter();
+    let Some((mut key, first)) = iter.next() else {
+        return;
+    };
+    let mut values = vec![first];
+    for (k, v) in iter {
+        if k == key {
+            values.push(v);
+        } else {
+            reduce(&key, &values, rctx);
+            values.clear();
+            key = k;
+            values.push(v);
+        }
+    }
+    reduce(&key, &values, rctx);
+}
+
+/// Heap entry of the k-way merge. Ordering compares `(key, run index)`
+/// only — runs are stored in split-id order, so the merge yields the
+/// global `(key, split id, arrival order)` sequence. The carried value
+/// never participates in comparisons.
+struct MergeEntry<K, V> {
+    key: K,
+    run: usize,
+    value: V,
+}
+
+impl<K: Ord, V> PartialEq for MergeEntry<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.run == other.run
+    }
+}
+
+impl<K: Ord, V> Eq for MergeEntry<K, V> {}
+
+impl<K: Ord, V> PartialOrd for MergeEntry<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, V> Ord for MergeEntry<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key).then(self.run.cmp(&other.run))
+    }
+}
+
+/// Fan-in above which the merge switches from the binary heap to the
+/// pairwise ladder: wide heaps pay `2·log₂ m` branchy sift steps per
+/// element, while the ladder's sequential two-way merges cost exactly
+/// `log₂ m` predictable comparisons plus streaming copies.
+const HEAP_MERGE_MAX_RUNS: usize = 8;
+
+/// Merges `m` sorted runs and feeds key groups straight into `reduce` —
+/// the shuffle never materializes a global concatenated vector and never
+/// compares partition ids. Narrow fan-ins use the `m`-entry min-heap
+/// (O(1) extra memory); wide fan-ins use [`ladder_merge`].
+fn merge_runs<K, V, R>(
+    runs: Vec<Vec<(K, V)>>,
+    reduce: &ReduceDyn<K, V, R>,
+    rctx: &mut ReduceContext<R>,
+) where
+    K: Ord,
+{
+    if runs.len() > HEAP_MERGE_MAX_RUNS {
+        let merged = ladder_merge(runs);
+        reduce_sorted_run(merged, reduce, rctx);
+        return;
+    }
+    let mut iters: Vec<std::vec::IntoIter<(K, V)>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<MergeEntry<K, V>>> = BinaryHeap::with_capacity(iters.len());
+    for (run, it) in iters.iter_mut().enumerate() {
+        if let Some((key, value)) = it.next() {
+            heap.push(Reverse(MergeEntry { key, run, value }));
+        }
+    }
+    let mut values: Vec<V> = Vec::new();
+    while let Some(Reverse(MergeEntry { key, run, value })) = heap.pop() {
+        values.clear();
+        values.push(value);
+        if let Some((k, v)) = iters[run].next() {
+            heap.push(Reverse(MergeEntry {
+                key: k,
+                run,
+                value: v,
+            }));
+        }
+        while heap.peek().is_some_and(|Reverse(entry)| entry.key == key) {
+            let Reverse(MergeEntry {
+                run: r, value: v, ..
+            }) = heap.pop().expect("peeked entry");
+            values.push(v);
+            if let Some((k2, v2)) = iters[r].next() {
+                heap.push(Reverse(MergeEntry {
+                    key: k2,
+                    run: r,
+                    value: v2,
+                }));
+            }
+        }
+        reduce(&key, &values, rctx);
+    }
+}
+
+/// Pairwise-merge ladder: merges adjacent runs two at a time until one
+/// sorted run remains. Runs stay in split-id order and ties always take
+/// from the left (lower split), so the result is the exact
+/// `(key, split id, arrival order)` sequence of the heap merge. Peak
+/// memory is one extra copy of the partition, freed level by level.
+fn ladder_merge<K: Ord, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    let mut level = runs;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.into_iter().next().unwrap_or_default()
+}
+
+/// Stable two-way merge; ties take from `a` (the lower split ids).
+fn merge_two<K: Ord, V>(a: Vec<(K, V)>, b: Vec<(K, V)>) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter();
+    let mut ib = b.into_iter();
+    let mut na = ia.next();
+    let mut nb = ib.next();
+    loop {
+        match (na.take(), nb.take()) {
+            (Some(x), Some(y)) => {
+                if x.0 <= y.0 {
+                    out.push(x);
+                    na = ia.next();
+                    nb = Some(y);
+                } else {
+                    out.push(y);
+                    nb = ib.next();
+                    na = Some(x);
+                }
+            }
+            (Some(x), None) => {
+                out.push(x);
+                out.extend(ia);
+                break;
+            }
+            (None, Some(y)) => {
+                out.push(y);
+                out.extend(ib);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_groups(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, Vec<u32>)> {
+        let mut rctx = ReduceContext::new();
+        let reduce = |k: &u32, vs: &[u32], ctx: &mut ReduceContext<(u32, Vec<u32>)>| {
+            ctx.emit((*k, vs.to_vec()));
+        };
+        reduce_partition(runs, &reduce, &mut rctx);
+        rctx.outputs
+    }
+
+    #[test]
+    fn merge_yields_key_then_run_order() {
+        // Runs are per split (split order = vector order).
+        let runs = vec![
+            vec![(1, 10), (1, 11), (5, 12)],
+            vec![(1, 20), (2, 21)],
+            vec![(2, 30), (5, 31), (9, 32)],
+        ];
+        assert_eq!(
+            collect_groups(runs),
+            vec![
+                (1, vec![10, 11, 20]),
+                (2, vec![21, 30]),
+                (5, vec![12, 31]),
+                (9, vec![32]),
+            ]
+        );
+    }
+
+    #[test]
+    fn both_merge_routes_yield_the_specified_sequence() {
+        // Heap (m ≤ 8) and ladder (m > 8) must both produce the sequence
+        // of a stable global sort by (key, run index).
+        let mk_runs = |m: usize| -> Vec<Vec<(u32, u32)>> {
+            (0..m)
+                .map(|r| {
+                    let mut run: Vec<(u32, u32)> = (0..20)
+                        .map(|i| ((i * (r as u32 + 3)) % 17, (r * 100 + i as usize) as u32))
+                        .collect();
+                    run.sort_by_key(|&(k, _)| k);
+                    run
+                })
+                .collect()
+        };
+        for m in [2, 3, 8, 9, 13, 32] {
+            let mut expected_pairs: Vec<(u32, usize, u32)> = mk_runs(m)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(r, run)| run.into_iter().map(move |(k, v)| (k, r, v)))
+                .collect();
+            expected_pairs.sort_by_key(|&(k, r, _)| (k, r));
+            let mut expected: Vec<(u32, Vec<u32>)> = Vec::new();
+            for (k, _, v) in expected_pairs {
+                match expected.last_mut() {
+                    Some((key, vs)) if *key == k => vs.push(v),
+                    _ => expected.push((k, vec![v])),
+                }
+            }
+            assert_eq!(collect_groups(mk_runs(m)), expected, "m={m}");
+        }
+    }
+
+    #[test]
+    fn merge_two_is_stable_on_ties() {
+        let a = vec![(1u32, 'a'), (3, 'b')];
+        let b = vec![(1u32, 'c'), (3, 'd')];
+        assert_eq!(
+            merge_two(a, b),
+            vec![(1, 'a'), (1, 'c'), (3, 'b'), (3, 'd')]
+        );
+    }
+
+    #[test]
+    fn single_run_fast_path_groups_adjacent() {
+        let runs = vec![vec![(3, 1), (3, 2), (4, 3)]];
+        assert_eq!(collect_groups(runs), vec![(3, vec![1, 2]), (4, vec![3])]);
+    }
+
+    #[test]
+    fn empty_partition_reduces_nothing() {
+        assert!(collect_groups(vec![]).is_empty());
+        assert!(collect_groups(vec![vec![]]).is_empty());
+    }
+
+    #[test]
+    fn group_combine_sorts_keys_and_preserves_value_order() {
+        let pairs = vec![(9u32, 1u64), (2, 2), (9, 3), (2, 4)];
+        let out = group_combine(pairs, &|_k, _vs| {});
+        assert_eq!(out, vec![(2, 2), (2, 4), (9, 1), (9, 3)]);
+    }
+
+    #[test]
+    fn default_partition_is_deterministic_and_spread() {
+        let a = default_partition(&42u64);
+        let b = default_partition(&42u64);
+        assert_eq!(a, b);
+        // Different keys land in different partitions (mod small R).
+        let hits: std::collections::HashSet<u64> =
+            (0..64u64).map(|k| default_partition(&k) % 8).collect();
+        assert!(hits.len() >= 4, "hash spreads keys across partitions");
+    }
+}

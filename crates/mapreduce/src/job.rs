@@ -1,33 +1,53 @@
-//! Job specification and the execution engine.
+//! Job specification and the execution entry point.
 //!
 //! A [`JobSpec`] describes one MapReduce round: one map closure per split,
-//! an optional Combine function, a partitioner, and a reduce closure per
-//! partition. [`run_job`] executes the round — map tasks in parallel worker
-//! threads, then a deterministic sort-shuffle-reduce — and returns the
-//! reducer outputs together with exact [`RunMetrics`].
+//! an optional Combine function, a partitioner, and a shared reduce
+//! function. [`run_job`] executes the round on the engine selected by the
+//! spec's [`EngineConfig`] — the pipelined partition-parallel engine
+//! ([`crate::engine`]) by default, or the preserved seed engine
+//! ([`crate::reference`]) — and returns the reducer outputs together with
+//! exact [`RunMetrics`].
 //!
-//! Determinism: mappers may run in any thread interleaving, but shuffle
-//! output is sorted by `(key, split id, arrival order)` before reduction,
-//! so reducers always observe the same sequence.
+//! Determinism: mappers may run in any thread interleaving and reduce
+//! partitions may run on any number of threads, but within a partition the
+//! reduce function always observes key groups in key order with each
+//! group's values in `(split id, arrival order)` order, and outputs are
+//! stitched in partition order — so results are bit-identical across runs,
+//! engines, and thread counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::context::{MapContext, ReduceContext};
-use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
+use crate::cost::ClusterConfig;
+use crate::engine::{self, EngineConfig, EngineMode};
 use crate::metrics::RunMetrics;
+use crate::reference;
 use crate::wire::WireSize;
 
 /// The boxed closure a map task runs.
 pub type MapFn<K, V> = Box<dyn FnOnce(&mut MapContext<K, V>) + Send>;
 
-/// Shared Combine function: mutates a key's value list in place.
+/// Shared Combine function: mutates a key's value list in place. Must be
+/// associative when streaming combining is enabled (Hadoop's contract: the
+/// combiner may run zero, one, or several times over partial value lists).
 pub type CombineFn<K, V> = Arc<dyn Fn(&K, &mut Vec<V>) + Send + Sync>;
 
 /// Reducer Close hook.
 pub type FinishFn<R> = Box<dyn FnOnce(&mut ReduceContext<R>) + Send>;
+
+/// Shared reduce function: receives each `(key, values-of-that-key)` group
+/// in key order; `values` preserves the deterministic shuffle order.
+///
+/// It is `Fn` (not `FnMut`) and shared across partitions so reduce
+/// partitions can run in parallel; cross-group state goes through the
+/// [`ReduceContext`] outputs, the Close hook, or a captured
+/// `Arc<Mutex<…>>`. Side effects on shared captures must be commutative
+/// across *partitions* (keys of different partitions never interleave
+/// deterministically); within a partition invocation order is fixed.
+pub type ReduceFn<K, V, R> = Arc<dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync>;
+
+/// Maps a key to a reduce partition (taken modulo the reducer count).
+pub type PartitionFn<K> = Arc<dyn Fn(&K) -> u64 + Send + Sync>;
 
 /// One map task: a closure run against its [`MapContext`].
 pub struct MapTask<K, V> {
@@ -47,10 +67,6 @@ impl<K, V> MapTask<K, V> {
     }
 }
 
-/// Reduce function: receives each `(key, values-of-that-key)` group in key
-/// order; `values` preserves the deterministic shuffle order.
-pub type ReduceFn<K, V, R> = Box<dyn FnMut(&K, &[V], &mut ReduceContext<R>) + Send>;
-
 /// A single MapReduce round.
 pub struct JobSpec<K, V, R> {
     /// Human-readable job name (diagnostics only).
@@ -61,42 +77,45 @@ pub struct JobSpec<K, V, R> {
     /// **before** communication is measured (exactly Hadoop's combiner
     /// contract: it may shrink, rewrite, or keep the value list).
     pub combiner: Option<CombineFn<K, V>>,
-    /// Number of reduce partitions (the paper always uses 1).
-    pub num_reducers: u32,
-    /// Maps a key to its reduce partition.
-    pub partitioner: Arc<dyn Fn(&K) -> u64 + Send + Sync>,
-    /// The reduce function (shared across partitions; invoked in partition
-    /// order, then key order).
+    /// Maps a key to its reduce partition. Defaults to a deterministic
+    /// Fx hash of the key ([`engine::default_partition`]).
+    pub partitioner: PartitionFn<K>,
+    /// The reduce function (shared across partitions; within a partition
+    /// invoked in key order).
     pub reduce: ReduceFn<K, V, R>,
     /// Bytes pushed to every slave through Job Configuration /
     /// Distributed Cache before the round starts.
     pub broadcast_bytes: u64,
     /// Reducer Close hook (the paper's Close interface, Appendix B): runs
-    /// once after the last key group — where histograms are assembled from
-    /// aggregated state.
+    /// once after every partition finished — where histograms are
+    /// assembled from aggregated state.
     pub finish: Option<FinishFn<R>>,
+    /// Execution-engine knobs: reducer count and parallelism, streaming
+    /// combining, spill chunk size, engine selection.
+    pub engine: EngineConfig,
 }
 
 impl<K, V, R> JobSpec<K, V, R>
 where
-    K: Ord + std::hash::Hash + Clone + Send + WireSize,
-    V: Send + WireSize,
+    K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
 {
-    /// A one-reducer job with default (hash) partitioning and no combiner.
+    /// A one-reducer job with default (hash) partitioning, no combiner,
+    /// and the default (pipelined) engine.
     pub fn new(
         name: impl Into<String>,
         map_tasks: Vec<MapTask<K, V>>,
-        reduce: ReduceFn<K, V, R>,
+        reduce: impl Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync + 'static,
     ) -> Self {
         Self {
             name: name.into(),
             map_tasks,
             combiner: None,
-            num_reducers: 1,
-            partitioner: Arc::new(|_| 0),
-            reduce,
+            partitioner: Arc::new(engine::default_partition::<K>),
+            reduce: Arc::new(reduce),
             broadcast_bytes: 0,
             finish: None,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -117,170 +136,48 @@ where
         self.finish = Some(Box::new(f));
         self
     }
+
+    /// Sets the execution-engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the number of reduce partitions (shorthand for the engine knob).
+    pub fn with_reducers(mut self, n: u32) -> Self {
+        self.engine = self.engine.with_reducers(n);
+        self
+    }
+
+    /// Overrides the partitioner.
+    pub fn with_partitioner(mut self, f: impl Fn(&K) -> u64 + Send + Sync + 'static) -> Self {
+        self.partitioner = Arc::new(f);
+        self
+    }
 }
 
 /// The result of one round.
 #[derive(Debug)]
 pub struct JobOutput<R> {
-    /// Reducer outputs, in emission order.
+    /// Reducer outputs, in emission order (partition order, then key
+    /// order, then the Close hook's emissions).
     pub outputs: Vec<R>,
     /// Exact measurements for this round (`rounds == 1`).
     pub metrics: RunMetrics,
 }
 
-struct TaskResult<K, V> {
-    split_id: u32,
-    pairs: Vec<(K, V)>,
-    work: TaskWork,
-    records_read: u64,
-}
-
-/// Executes one MapReduce round on `cluster`.
-///
-/// Work-steals map tasks across `min(available_parallelism, tasks)` OS
-/// threads; everything downstream is sequential and deterministic.
+/// Executes one MapReduce round on `cluster` with the engine selected by
+/// `spec.engine.mode`.
 pub fn run_job<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
 where
-    K: Ord + std::hash::Hash + Clone + Send + WireSize,
-    V: Send + WireSize,
+    K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
     R: Send,
 {
-    let JobSpec {
-        map_tasks,
-        combiner,
-        num_reducers,
-        partitioner,
-        mut reduce,
-        broadcast_bytes,
-        finish,
-        ..
-    } = spec;
-    assert!(num_reducers >= 1, "need at least one reducer");
-
-    // ---- Map phase (parallel) ----
-    let task_queue: Vec<Mutex<Option<MapTask<K, V>>>> =
-        map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<TaskResult<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(task_queue.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= task_queue.len() {
-                    break;
-                }
-                let task = task_queue[i].lock().take().expect("each task taken once");
-                let mut ctx = MapContext::new(task.split_id);
-                (task.run)(&mut ctx);
-                let mut pairs = ctx.pairs;
-                if let Some(comb) = &combiner {
-                    pairs = apply_combiner(pairs, comb.as_ref());
-                }
-                // Hadoop sorts each spill by key within the mapper; we sort
-                // here so shuffle concatenation stays deterministic.
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                results.lock().push(TaskResult {
-                    split_id: task.split_id,
-                    pairs,
-                    work: TaskWork {
-                        bytes_scanned: ctx.bytes_read,
-                        cpu_ops: ctx.cpu_ops,
-                    },
-                    records_read: ctx.records_read,
-                });
-            });
-        }
-        // std::thread::scope joins all workers and re-raises any panic.
-    });
-
-    let mut per_task = results.into_inner();
-    per_task.sort_by_key(|t| t.split_id);
-
-    // ---- Accounting + shuffle ----
-    let mut metrics = RunMetrics {
-        rounds: 1,
-        broadcast_bytes,
-        ..Default::default()
-    };
-    let mut task_work = Vec::with_capacity(per_task.len());
-    let mut shuffled: Vec<(u64, K, u32, V)> = Vec::new(); // (partition, key, split, value)
-    for t in per_task {
-        task_work.push(t.work);
-        metrics.records_scanned += t.records_read;
-        metrics.bytes_scanned += t.work.bytes_scanned;
-        metrics.cpu_ops += t.work.cpu_ops;
-        for (k, v) in t.pairs {
-            metrics.map_output_pairs += 1;
-            metrics.shuffle_bytes += k.wire_bytes() + v.wire_bytes();
-            let p = partitioner(&k) % u64::from(num_reducers);
-            shuffled.push((p, k, t.split_id, v));
-        }
+    match spec.engine.mode {
+        EngineMode::Pipelined => engine::execute(cluster, spec),
+        EngineMode::Reference => reference::run_job_reference(cluster, spec),
     }
-    // Deterministic order: partition, key, then source split.
-    shuffled.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
-
-    // ---- Reduce phase ----
-    let mut rctx = ReduceContext::new();
-    let mut iter = shuffled.into_iter().peekable();
-    let mut values: Vec<V> = Vec::new();
-    while let Some((part, key, _split, value)) = iter.next() {
-        values.clear();
-        values.push(value);
-        while let Some((p2, k2, _, _)) = iter.peek() {
-            if *p2 == part && *k2 == key {
-                let (_, _, _, v) = iter.next().expect("peeked entry exists");
-                values.push(v);
-            } else {
-                break;
-            }
-        }
-        reduce(&key, &values, &mut rctx);
-    }
-    if let Some(f) = finish {
-        f(&mut rctx);
-    }
-
-    metrics.cpu_ops += rctx.cpu_ops;
-    metrics.sim_time_s = round_time(
-        cluster,
-        &task_work,
-        ReduceWork {
-            cpu_ops: rctx.cpu_ops,
-        },
-        metrics.shuffle_bytes,
-        metrics.broadcast_bytes,
-    );
-
-    JobOutput {
-        outputs: rctx.outputs,
-        metrics,
-    }
-}
-
-fn apply_combiner<K, V>(
-    pairs: Vec<(K, V)>,
-    comb: &(dyn Fn(&K, &mut Vec<V>) + Send + Sync),
-) -> Vec<(K, V)>
-where
-    K: Ord + std::hash::Hash + Clone,
-{
-    use wh_wavelet::hash::FxHashMap;
-    let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
-    for (k, v) in pairs {
-        groups.entry(k).or_default().push(v);
-    }
-    let mut out = Vec::with_capacity(groups.len());
-    for (k, mut vs) in groups {
-        comb(&k, &mut vs);
-        for v in vs {
-            out.push((k.clone(), v));
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -302,10 +199,10 @@ mod tests {
             .collect()
     }
 
-    fn count_reduce() -> ReduceFn<u32, u64, (u32, u64)> {
-        Box::new(|k, vs, ctx| {
+    fn count_reduce() -> impl Fn(&u32, &[u64], &mut ReduceContext<(u32, u64)>) + Send + Sync {
+        |k, vs, ctx| {
             ctx.emit((*k, vs.iter().sum()));
-        })
+        }
     }
 
     #[test]
@@ -343,14 +240,38 @@ mod tests {
     }
 
     #[test]
+    fn streaming_combiner_matches_batch_combiner() {
+        let cluster = ClusterConfig::single_machine();
+        let mk = |engine: EngineConfig| {
+            let tasks = wordcount_tasks(vec![vec![7; 100], vec![3; 40], vec![7; 50], vec![9; 3]]);
+            let spec = JobSpec::new("wc", tasks, count_reduce())
+                .with_combiner(|_k, vs: &mut Vec<u64>| {
+                    let total: u64 = vs.iter().sum();
+                    vs.clear();
+                    vs.push(total);
+                })
+                .with_engine(engine);
+            run_job(&cluster, spec)
+        };
+        let batch = mk(EngineConfig::default());
+        for chunk in [0, 1, 8, 1024] {
+            let streaming = mk(EngineConfig::default()
+                .with_streaming_combine(true)
+                .with_spill_chunk(chunk));
+            assert_eq!(batch.outputs, streaming.outputs, "chunk={chunk}");
+            assert_eq!(batch.metrics, streaming.metrics, "chunk={chunk}");
+        }
+    }
+
+    #[test]
     fn reduce_sees_keys_in_sorted_order() {
         let cluster = ClusterConfig::single_machine();
         let tasks = wordcount_tasks(vec![vec![9, 1, 5], vec![3, 7]]);
         let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
         let order2 = order.clone();
-        let reduce: ReduceFn<u32, u64, ()> = Box::new(move |k, _vs, _ctx| {
+        let reduce = move |k: &u32, _vs: &[u64], _ctx: &mut ReduceContext<()>| {
             order2.lock().push(*k);
-        });
+        };
         let spec = JobSpec::new("order", tasks, reduce);
         run_job(&cluster, spec);
         assert_eq!(*order.lock(), vec![1, 3, 5, 7, 9]);
@@ -367,9 +288,9 @@ mod tests {
                 })
             })
             .collect();
-        let reduce: ReduceFn<u32, u64, Vec<u64>> = Box::new(|_k, vs, ctx| {
+        let reduce = |_k: &u32, vs: &[u64], ctx: &mut ReduceContext<Vec<u64>>| {
             ctx.emit(vs.to_vec());
-        });
+        };
         let spec = JobSpec::new("split-order", tasks, reduce);
         let out = run_job(&cluster, spec);
         assert_eq!(out.outputs, vec![vec![0, 1, 2, 3, 4, 5]]);
@@ -382,7 +303,7 @@ mod tests {
         let tasks = vec![MapTask::new(0, |ctx: &mut MapContext<u32, u64>| {
             ctx.charge(2e6);
         })];
-        let reduce: ReduceFn<u32, u64, ()> = Box::new(|_, _, ctx| ctx.charge(1e6));
+        let reduce = |_: &u32, _: &[u64], ctx: &mut ReduceContext<()>| ctx.charge(1e6);
         let spec = JobSpec::new("cpu", tasks, reduce);
         let out = run_job(&cluster, spec);
         assert_eq!(out.metrics.cpu_ops, 2e6);
@@ -418,11 +339,94 @@ mod tests {
     }
 
     #[test]
+    fn multi_reducer_matches_single_reducer() {
+        let cluster = ClusterConfig::paper_cluster();
+        let mk = |engine: EngineConfig| {
+            let tasks = wordcount_tasks((0..24).map(|j| vec![j % 7, j % 5, j % 3, 2]).collect());
+            run_job(
+                &cluster,
+                JobSpec::new("multi", tasks, count_reduce()).with_engine(engine),
+            )
+        };
+        let single = mk(EngineConfig::default());
+        for reducers in [2, 3, 8] {
+            let multi = mk(EngineConfig::default().with_reducers(reducers));
+            // Outputs are partition-major; compare as multisets.
+            let mut a = single.outputs.clone();
+            let mut b = multi.outputs.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "reducers={reducers}");
+            // Communication metrics are partition-independent.
+            assert_eq!(single.metrics, multi.metrics, "reducers={reducers}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reducer_parallelism() {
+        let cluster = ClusterConfig::paper_cluster();
+        let mk = |threads: usize| {
+            let tasks = wordcount_tasks((0..30).map(|j| vec![j % 11, j % 4]).collect());
+            run_job(
+                &cluster,
+                JobSpec::new("par", tasks, count_reduce()).with_engine(
+                    EngineConfig::default()
+                        .with_reducers(8)
+                        .with_reducer_parallelism(threads),
+                ),
+            )
+        };
+        let one = mk(1);
+        for threads in [2, 8] {
+            let t = mk(threads);
+            assert_eq!(one.outputs, t.outputs, "threads={threads}");
+            assert_eq!(one.metrics, t.metrics, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reference_engine_matches_pipelined() {
+        let cluster = ClusterConfig::paper_cluster();
+        let mk = |engine: EngineConfig| {
+            let tasks = wordcount_tasks((0..16).map(|j| vec![j % 6, j % 4, 1]).collect());
+            run_job(
+                &cluster,
+                JobSpec::new("diff", tasks, count_reduce()).with_engine(engine),
+            )
+        };
+        for reducers in [1, 4] {
+            let pipelined = mk(EngineConfig::pipelined().with_reducers(reducers));
+            let reference = mk(EngineConfig::reference().with_reducers(reducers));
+            assert_eq!(pipelined.outputs, reference.outputs, "reducers={reducers}");
+            assert_eq!(pipelined.metrics, reference.metrics, "reducers={reducers}");
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_measured() {
+        let cluster = ClusterConfig::single_machine();
+        let tasks = wordcount_tasks(vec![vec![1, 2, 3]; 4]);
+        let out = run_job(&cluster, JobSpec::new("wall", tasks, count_reduce()));
+        // Phases really ran, so some nonzero time was observed.
+        assert!(out.metrics.wall_time_s() > 0.0);
+    }
+
+    #[test]
     fn empty_job() {
         let cluster = ClusterConfig::single_machine();
-        let spec: JobSpec<u32, u64, ()> = JobSpec::new("empty", vec![], Box::new(|_, _, _| {}));
+        let spec: JobSpec<u32, u64, ()> = JobSpec::new("empty", vec![], |_: &u32, _, _| {});
         let out = run_job(&cluster, spec);
         assert!(out.outputs.is_empty());
         assert_eq!(out.metrics.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn empty_job_multi_reducer_runs_finish() {
+        let cluster = ClusterConfig::single_machine();
+        let spec: JobSpec<u32, u64, u32> = JobSpec::new("empty", vec![], |_: &u32, _, _| {})
+            .with_reducers(4)
+            .with_finish(|ctx| ctx.emit(99));
+        let out = run_job(&cluster, spec);
+        assert_eq!(out.outputs, vec![99]);
     }
 }

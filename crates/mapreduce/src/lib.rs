@@ -21,17 +21,41 @@
 //! in a [`state::StateStore`], mirroring the paper's trick of persisting
 //! mapper state to a local HDFS file between rounds (Appendix A) — which is
 //! also why that state is *not* charged as communication.
+//!
+//! ## Execution engine
+//!
+//! Since PR 2 the runtime is a pipelined, partition-parallel engine
+//! ([`engine`]):
+//!
+//! ```text
+//! map workers ──▶ per-partition sorted spills ──▶ k-way merge per
+//! (parallel)      (combine + partition + sort     partition ──▶ parallel
+//!                  inside the worker thread)      reduce, deterministic
+//!                                                 output stitching
+//! ```
+//!
+//! The old engine — one global `O(n log n)` sort and a sequential reduce —
+//! survives as [`reference::run_job_reference`], the executable
+//! specification that differential tests and the `wh-bench` regression
+//! harness compare against. [`EngineConfig`] exposes the knobs (reducer
+//! count, reduce parallelism, streaming combining, spill chunk size);
+//! [`RunMetrics`] now carries real per-phase wall-clock next to the
+//! simulated cluster time.
 
 pub mod context;
 pub mod cost;
+pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod reference;
 pub mod state;
 pub mod wire;
 
 pub use context::{MapContext, ReduceContext};
 pub use cost::{ClusterConfig, MachineSpec};
+pub use engine::{EngineConfig, EngineMode};
 pub use job::{run_job, JobOutput, JobSpec, MapTask};
 pub use metrics::RunMetrics;
+pub use reference::run_job_reference;
 pub use state::StateStore;
 pub use wire::WireSize;

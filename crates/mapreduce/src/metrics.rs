@@ -4,7 +4,20 @@ use std::fmt;
 
 /// Accumulated measurements of one job or one complete algorithm run
 /// (possibly multiple MapReduce rounds).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Two families of quantities live here:
+///
+/// * **logical** measurements (communication, scans, charged CPU, simulated
+///   time) — fully deterministic, identical across repeated runs, thread
+///   counts, and engine implementations;
+/// * **real wall-clock** per engine phase (`wall_map_s`, `wall_shuffle_s`,
+///   `wall_reduce_s`) — measured with [`std::time::Instant`] and therefore
+///   machine- and load-dependent. These are what `wh-bench` regresses on.
+///
+/// `PartialEq` intentionally compares **only the logical fields**, so the
+/// determinism contract (`a == b` for identical runs) keeps holding even
+/// though wall-clock never repeats exactly.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunMetrics {
     /// Number of MapReduce rounds executed.
     pub rounds: u32,
@@ -24,12 +37,26 @@ pub struct RunMetrics {
     pub cpu_ops: f64,
     /// Simulated wall-clock seconds on the configured cluster.
     pub sim_time_s: f64,
+    /// Real elapsed seconds of the map phase (task execution, in-mapper
+    /// combining, and the per-partition sorted spills).
+    pub wall_map_s: f64,
+    /// Real elapsed seconds of the shuffle (regrouping spill runs into
+    /// per-partition merge inputs; accounting).
+    pub wall_shuffle_s: f64,
+    /// Real elapsed seconds of the reduce phase (k-way merges, reduce
+    /// calls, the Close hook, and output stitching).
+    pub wall_reduce_s: f64,
 }
 
 impl RunMetrics {
     /// Total intra-cluster communication: shuffle plus broadcast.
     pub fn total_comm_bytes(&self) -> u64 {
         self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Total real elapsed seconds across the three engine phases.
+    pub fn wall_time_s(&self) -> f64 {
+        self.wall_map_s + self.wall_shuffle_s + self.wall_reduce_s
     }
 
     /// Accumulates another round's metrics into `self`.
@@ -42,6 +69,24 @@ impl RunMetrics {
         self.bytes_scanned += other.bytes_scanned;
         self.cpu_ops += other.cpu_ops;
         self.sim_time_s += other.sim_time_s;
+        self.wall_map_s += other.wall_map_s;
+        self.wall_shuffle_s += other.wall_shuffle_s;
+        self.wall_reduce_s += other.wall_reduce_s;
+    }
+}
+
+impl PartialEq for RunMetrics {
+    /// Compares the logical (deterministic) fields only; the `wall_*`
+    /// measurements are machine-dependent and excluded by design.
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.shuffle_bytes == other.shuffle_bytes
+            && self.broadcast_bytes == other.broadcast_bytes
+            && self.map_output_pairs == other.map_output_pairs
+            && self.records_scanned == other.records_scanned
+            && self.bytes_scanned == other.bytes_scanned
+            && self.cpu_ops == other.cpu_ops
+            && self.sim_time_s == other.sim_time_s
     }
 }
 
@@ -58,7 +103,11 @@ impl fmt::Display for RunMetrics {
             self.records_scanned,
             self.bytes_scanned,
             self.sim_time_s,
-        )
+        )?;
+        if self.wall_time_s() > 0.0 {
+            write!(f, " wall={:.3}s", self.wall_time_s())?;
+        }
+        Ok(())
     }
 }
 
@@ -93,6 +142,9 @@ mod tests {
             bytes_scanned: 4000,
             cpu_ops: 1e6,
             sim_time_s: 2.0,
+            wall_map_s: 0.25,
+            wall_shuffle_s: 0.5,
+            wall_reduce_s: 0.25,
         };
         let b = a;
         a.absorb(&b);
@@ -100,6 +152,30 @@ mod tests {
         assert_eq!(a.shuffle_bytes, 200);
         assert_eq!(a.total_comm_bytes(), 220);
         assert_eq!(a.sim_time_s, 4.0);
+        assert!((a.wall_time_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let a = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            wall_map_s: 0.1,
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            wall_map_s: 9.9,
+            wall_reduce_s: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(a, b, "wall-clock must not break the determinism contract");
+        let c = RunMetrics {
+            rounds: 2,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

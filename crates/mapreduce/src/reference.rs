@@ -1,0 +1,169 @@
+//! The seed execution engine, preserved as an executable specification.
+//!
+//! This is the pre-pipelining `run_job`: map tasks run in parallel worker
+//! threads, then the shuffle is **one global `O(n log n)` sort** over
+//! `(partition, key, split)` tuples on a single thread, and the reduce loop
+//! walks the sorted vector sequentially. It produces byte-identical
+//! outputs and logical metrics to the pipelined engine
+//! ([`crate::engine`]) — differential property tests in
+//! `tests/engine_parallel.rs` enforce that — and `wh-bench` measures the
+//! pipelined engine's wall-clock against it.
+//!
+//! Select it with [`crate::EngineConfig::reference`] or call
+//! [`run_job_reference`] directly. Streaming-combine knobs are ignored
+//! here (combining is always the batch variant, which defines the
+//! semantics the streaming path must reproduce).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::context::{MapContext, ReduceContext};
+use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
+use crate::engine::group_combine;
+use crate::job::{JobOutput, JobSpec, MapTask};
+use crate::metrics::RunMetrics;
+use crate::wire::WireSize;
+
+struct TaskResult<K, V> {
+    split_id: u32,
+    pairs: Vec<(K, V)>,
+    work: TaskWork,
+    records_read: u64,
+}
+
+/// Executes one round on the seed engine (global sort + sequential
+/// reduce). Same output contract as [`crate::run_job`] with the default
+/// engine; kept for differential testing and benchmarking.
+pub fn run_job_reference<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
+where
+    K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
+    R: Send,
+{
+    let JobSpec {
+        map_tasks,
+        combiner,
+        partitioner,
+        reduce,
+        broadcast_bytes,
+        finish,
+        engine,
+        ..
+    } = spec;
+    let num_reducers = engine.num_reducers;
+    assert!(num_reducers >= 1, "need at least one reducer");
+
+    // ---- Map phase (parallel) ----
+    let map_start = Instant::now();
+    let task_queue: Vec<Mutex<Option<MapTask<K, V>>>> =
+        map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<TaskResult<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(task_queue.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= task_queue.len() {
+                    break;
+                }
+                let task = task_queue[i].lock().take().expect("each task taken once");
+                let mut ctx = MapContext::new(task.split_id);
+                (task.run)(&mut ctx);
+                let mut pairs = ctx.pairs;
+                if let Some(comb) = &combiner {
+                    pairs = group_combine(pairs, comb.as_ref());
+                }
+                // Hadoop sorts each spill by key within the mapper; we sort
+                // here so shuffle concatenation stays deterministic.
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                results.lock().push(TaskResult {
+                    split_id: task.split_id,
+                    pairs,
+                    work: TaskWork {
+                        bytes_scanned: ctx.bytes_read,
+                        cpu_ops: ctx.cpu_ops,
+                    },
+                    records_read: ctx.records_read,
+                });
+            });
+        }
+        // std::thread::scope joins all workers and re-raises any panic.
+    });
+
+    let mut per_task = results.into_inner();
+    per_task.sort_by_key(|t| t.split_id);
+    let wall_map_s = map_start.elapsed().as_secs_f64();
+
+    // ---- Accounting + shuffle: one global sort on a single thread ----
+    let shuffle_start = Instant::now();
+    let mut metrics = RunMetrics {
+        rounds: 1,
+        broadcast_bytes,
+        ..Default::default()
+    };
+    let mut task_work = Vec::with_capacity(per_task.len());
+    let mut shuffled: Vec<(u64, K, u32, V)> = Vec::new(); // (partition, key, split, value)
+    for t in per_task {
+        task_work.push(t.work);
+        metrics.records_scanned += t.records_read;
+        metrics.bytes_scanned += t.work.bytes_scanned;
+        metrics.cpu_ops += t.work.cpu_ops;
+        for (k, v) in t.pairs {
+            metrics.map_output_pairs += 1;
+            metrics.shuffle_bytes += k.wire_bytes() + v.wire_bytes();
+            let p = partitioner(&k) % u64::from(num_reducers);
+            shuffled.push((p, k, t.split_id, v));
+        }
+    }
+    // Deterministic order: partition, key, then source split.
+    shuffled.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+    let wall_shuffle_s = shuffle_start.elapsed().as_secs_f64();
+
+    // ---- Reduce phase (sequential) ----
+    let reduce_start = Instant::now();
+    let mut rctx = ReduceContext::new();
+    let mut iter = shuffled.into_iter().peekable();
+    let mut values: Vec<V> = Vec::new();
+    while let Some((part, key, _split, value)) = iter.next() {
+        values.clear();
+        values.push(value);
+        while let Some((p2, k2, _, _)) = iter.peek() {
+            if *p2 == part && *k2 == key {
+                let (_, _, _, v) = iter.next().expect("peeked entry exists");
+                values.push(v);
+            } else {
+                break;
+            }
+        }
+        reduce(&key, &values, &mut rctx);
+    }
+    if let Some(f) = finish {
+        f(&mut rctx);
+    }
+    let wall_reduce_s = reduce_start.elapsed().as_secs_f64();
+
+    metrics.cpu_ops += rctx.cpu_ops;
+    metrics.sim_time_s = round_time(
+        cluster,
+        &task_work,
+        ReduceWork {
+            cpu_ops: rctx.cpu_ops,
+        },
+        metrics.shuffle_bytes,
+        metrics.broadcast_bytes,
+    );
+    metrics.wall_map_s = wall_map_s;
+    metrics.wall_shuffle_s = wall_shuffle_s;
+    metrics.wall_reduce_s = wall_reduce_s;
+
+    JobOutput {
+        outputs: rctx.outputs,
+        metrics,
+    }
+}

@@ -1,0 +1,263 @@
+//! Property and differential tests of the pipelined execution engine:
+//! multi-reducer equivalence for every builder, streaming-combiner
+//! byte-identity, determinism across thread counts, and pipelined-vs-seed
+//! engine equivalence on randomized jobs.
+
+use proptest::prelude::*;
+use wavelet_hist::builders::{
+    BasicS, HWTopk, HistogramBuilder, ImprovedS, SendCoef, SendSketch, SendSketchAms, SendV,
+    TwoLevelS,
+};
+use wavelet_hist::data::{Dataset, DatasetBuilder};
+use wavelet_hist::mapreduce::wire::WKey;
+use wavelet_hist::mapreduce::{
+    run_job, ClusterConfig, EngineConfig, JobSpec, MapContext, MapTask, ReduceContext,
+};
+use wavelet_hist::wavelet::Domain;
+use wavelet_hist::WaveletHistogram;
+
+fn dataset() -> Dataset {
+    DatasetBuilder::new()
+        .domain(Domain::new(9).unwrap())
+        .records(18_000)
+        .splits(9)
+        .seed(0xabcd)
+        .build()
+}
+
+/// Every builder with an engine knob, at a fixed configuration.
+fn builders(engine: EngineConfig) -> Vec<Box<dyn HistogramBuilder>> {
+    let eps = 0.02;
+    vec![
+        Box::new(SendV::new().with_engine(engine)),
+        Box::new(SendCoef::new().with_engine(engine)),
+        Box::new(HWTopk::new().with_engine(engine)),
+        Box::new(BasicS::new(eps, 3).with_engine(engine)),
+        Box::new(ImprovedS::new(eps, 3).with_engine(engine)),
+        Box::new(TwoLevelS::new(eps, 3).with_engine(engine)),
+        Box::new(SendSketch::new(5).with_engine(engine)),
+        Box::new(SendSketchAms::new(5).with_engine(engine)),
+    ]
+}
+
+/// Histogram equality up to float associativity: multi-reducer runs
+/// insert into shared accumulators in a different (but deterministic)
+/// order, so coefficient sums may differ in the last bits.
+fn assert_histograms_close(a: &WaveletHistogram, b: &WaveletHistogram, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: histogram size");
+    for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+        assert_eq!(x.0, y.0, "{what}: slot mismatch");
+        assert!(
+            (x.1 - y.1).abs() <= 1e-9 * (1.0 + y.1.abs()),
+            "{what}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Satellite (a): for every builder, R reducers produce the same
+/// histogram and the same logical metrics as a single reducer.
+#[test]
+fn every_builder_multi_reducer_equals_single_reducer() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let k = 16;
+    for (single, multi) in builders(EngineConfig::default())
+        .into_iter()
+        .zip(builders(EngineConfig::default().with_reducers(4)))
+    {
+        let name = single.name();
+        let a = single.build(&ds, &cluster, k);
+        let b = multi.build(&ds, &cluster, k);
+        assert_histograms_close(&a.histogram, &b.histogram, name);
+        assert_eq!(a.metrics, b.metrics, "{name}: logical metrics");
+    }
+}
+
+/// Satellite (c): determinism across reduce thread counts 1/2/8.
+#[test]
+fn every_builder_deterministic_across_thread_counts() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let k = 12;
+    let run = |threads: usize| {
+        builders(
+            EngineConfig::default()
+                .with_reducers(8)
+                .with_reducer_parallelism(threads),
+        )
+        .into_iter()
+        .map(|b| b.build(&ds, &cluster, k))
+        .collect::<Vec<_>>()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        for (a, b) in base.iter().zip(run(threads)) {
+            // Bit-identical, not just close: the stitching order is fixed.
+            assert_eq!(
+                a.histogram.coefficients(),
+                b.histogram.coefficients(),
+                "threads={threads}"
+            );
+            assert_eq!(a.metrics, b.metrics, "threads={threads}");
+        }
+    }
+}
+
+/// A combiner-based wordcount job whose Close hook assembles a k-term
+/// histogram — exercises the streaming-combine path end to end.
+fn histogram_job(
+    engine: EngineConfig,
+    splits: &[Vec<u64>],
+) -> (Vec<(u64, f64)>, wavelet_hist::mapreduce::RunMetrics) {
+    let domain = Domain::new(6).unwrap();
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                ctx.note_read(keys.len() as u64, keys.len() as u64 * 4);
+                for k in &keys {
+                    ctx.emit(WKey::four(*k % 64), 1);
+                }
+            })
+        })
+        .collect();
+    let acc = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let acc_reduce = std::sync::Arc::clone(&acc);
+    let spec = JobSpec::new(
+        "hist-wc",
+        tasks,
+        move |k: &WKey, vs: &[u64], ctx: &mut ReduceContext<(u64, f64)>| {
+            ctx.charge(vs.len() as f64);
+            acc_reduce
+                .lock()
+                .expect("no poisoned reducers")
+                .push((k.id, vs.iter().sum::<u64>()));
+        },
+    )
+    .with_combiner(|_k, vs: &mut Vec<u64>| {
+        let total: u64 = vs.iter().sum();
+        vs.clear();
+        vs.push(total);
+    })
+    .with_engine(engine)
+    .with_finish(move |ctx| {
+        let counts = acc.lock().expect("no poisoned reducers");
+        let coefs = wavelet_hist::wavelet::sparse::sparse_transform(
+            domain,
+            counts.iter().map(|&(x, c)| (x, c as f64)),
+        );
+        for e in wavelet_hist::wavelet::select::top_k_magnitude(coefs, 8) {
+            ctx.emit((e.slot, e.value));
+        }
+    });
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
+}
+
+/// Satellite (b): streaming combining is byte-identical to batch
+/// combining — same histogram, same `RunMetrics` — for any spill chunk.
+#[test]
+fn streaming_combiner_byte_identical_to_batch() {
+    let splits: Vec<Vec<u64>> = (0..6)
+        .map(|j| (0..2_000u64).map(|i| (i * (j + 2)) % 300).collect())
+        .collect();
+    let (base_out, base_metrics) = histogram_job(EngineConfig::default(), &splits);
+    for chunk in [0, 1, 13, 256, 100_000] {
+        let engine = EngineConfig::default()
+            .with_streaming_combine(true)
+            .with_spill_chunk(chunk);
+        let (out, metrics) = histogram_job(engine, &splits);
+        assert_eq!(base_out, out, "chunk={chunk}: histogram");
+        assert_eq!(base_metrics, metrics, "chunk={chunk}: metrics");
+    }
+    // And with multiple reducers on top.
+    let engine = EngineConfig::default()
+        .with_streaming_combine(true)
+        .with_spill_chunk(64)
+        .with_reducers(4);
+    let (out, metrics) = histogram_job(engine, &splits);
+    assert_eq!(base_out, out, "R=4 streaming: histogram");
+    assert_eq!(base_metrics, metrics, "R=4 streaming: metrics");
+}
+
+/// The pipelined engine run twice is bit-identical (wall-clock aside).
+#[test]
+fn builder_runs_are_reproducible() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let engine = EngineConfig::default().with_reducers(3);
+    let a = SendV::new().with_engine(engine).build(&ds, &cluster, 10);
+    let b = SendV::new().with_engine(engine).build(&ds, &cluster, 10);
+    assert_eq!(a.histogram.coefficients(), b.histogram.coefficients());
+    assert_eq!(a.metrics, b.metrics);
+}
+
+fn splits_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(prop::collection::vec(0u64..60, 0..70), 1..14)
+}
+
+fn count_job(
+    splits: Vec<Vec<u64>>,
+    engine: EngineConfig,
+) -> (Vec<(u64, u64)>, wavelet_hist::mapreduce::RunMetrics) {
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .into_iter()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                for k in &keys {
+                    ctx.emit(WKey::four(*k), 1);
+                }
+            })
+        })
+        .collect();
+    let spec = JobSpec::new(
+        "prop",
+        tasks,
+        |k: &WKey, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((k.id, vs.iter().sum()));
+        },
+    )
+    .with_engine(engine);
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differential: the pipelined engine equals the preserved seed engine
+    /// bit for bit, for any reducer count.
+    #[test]
+    fn pipelined_equals_reference_engine(splits in splits_strategy(), reducers in 1u32..6) {
+        let pipelined = count_job(
+            splits.clone(),
+            EngineConfig::pipelined().with_reducers(reducers),
+        );
+        let reference = count_job(
+            splits,
+            EngineConfig::reference().with_reducers(reducers),
+        );
+        prop_assert_eq!(pipelined.0, reference.0);
+        prop_assert_eq!(pipelined.1, reference.1);
+    }
+
+    /// Reduce-side parallelism never changes outputs or metrics.
+    #[test]
+    fn thread_count_invariance(splits in splits_strategy(), reducers in 1u32..9) {
+        let base = count_job(
+            splits.clone(),
+            EngineConfig::default().with_reducers(reducers).with_reducer_parallelism(1),
+        );
+        for threads in [2usize, 8] {
+            let got = count_job(
+                splits.clone(),
+                EngineConfig::default().with_reducers(reducers).with_reducer_parallelism(threads),
+            );
+            prop_assert_eq!(&base.0, &got.0);
+            prop_assert_eq!(&base.1, &got.1);
+        }
+    }
+}
