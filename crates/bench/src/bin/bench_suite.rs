@@ -1,11 +1,11 @@
-//! Runs the fixed engine-benchmark suite and emits `BENCH_PR2.json`.
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR3.json`.
 //!
 //! ```text
 //! cargo run -p wh-bench --release --bin bench_suite                 # full suite
 //! cargo run -p wh-bench --release --bin bench_suite -- --fast      # CI smoke scale
 //! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # full + fast → committed file
 //! cargo run -p wh-bench --release --bin bench_suite -- \
-//!     --fast --out bench-current.json --check BENCH_PR2.json       # regression gate
+//!     --fast --out bench-current.json --check BENCH_PR3.json       # regression gate
 //! ```
 //!
 //! `--check BASELINE` compares the fresh run's per-bench `relative_cost`
@@ -13,7 +13,7 @@
 //! matching mode section of the committed baseline and exits nonzero on
 //! more than 25 % regression or on any output divergence between the
 //! engines. `--baseline` runs both scales and writes both sections —
-//! that is how the committed `BENCH_PR2.json` is produced.
+//! that is how the committed `BENCH_PR3.json` is produced.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,7 +49,7 @@ fn main() -> ExitCode {
     let mut fast = false;
     let mut baseline_mode = false;
     let mut repeats: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_PR2.json");
+    let mut out = PathBuf::from("BENCH_PR3.json");
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {

@@ -15,7 +15,7 @@
 //! The [`suite`] module is the engine-regression harness behind
 //! `cargo run -p wh-bench --release --bin bench_suite`: a fixed set of
 //! wall-clock benchmarks comparing the pipelined execution engine against
-//! the preserved seed engine, emitting `BENCH_PR2.json` and gating CI on
+//! the preserved seed engine, emitting `BENCH_PR3.json` and gating CI on
 //! >25 % relative regressions.
 
 pub mod defaults;

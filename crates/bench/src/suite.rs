@@ -1,13 +1,15 @@
-//! The fixed benchmark suite behind `BENCH_PR2.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR3.json` and the CI
 //! regression gate.
 //!
-//! Five benchmarks, each timing the **pipelined** engine against a
+//! Seven benchmarks, each timing the **optimized** side against a
 //! baseline measured in the same process and run:
 //!
-//! | name | pipelined side | baseline side |
+//! | name | optimized side | baseline side |
 //! |---|---|---|
 //! | `haar_forward` | in-place Haar transform | allocating transform |
-//! | `shuffle_throughput` | spill → k-way merge → parallel reduce | global sort + sequential reduce |
+//! | `radix_sort` | LSD radix sort of a spill run | stable comparison sort |
+//! | `dense_combine` | dense-table combining (radix + domain hint) | hash-map combining |
+//! | `shuffle_throughput` | radix spill → k-way merge → parallel reduce | global sort + sequential reduce |
 //! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
@@ -24,7 +26,8 @@ use std::time::Instant;
 
 use wh_core::builders::{HistogramBuilder, SendCoef, SendV, TwoLevelS};
 use wh_data::DatasetBuilder;
-use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
+use wh_mapreduce::wire::WKey;
+use wh_mapreduce::{radix, run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
 use wh_wavelet::Domain;
 
 /// How the suite is scaled.
@@ -91,6 +94,8 @@ fn time_best<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
     vec![
         haar_forward(opts),
+        radix_sort(opts),
+        dense_combine(opts),
         shuffle_throughput(opts),
         end_to_end_send_coef(opts),
         end_to_end_send_v(opts),
@@ -119,9 +124,131 @@ fn haar_forward(opts: SuiteOptions) -> BenchRecord {
     }
 }
 
+/// SplitMix-style scramble used to generate unsorted, heavy-duplicate
+/// key material deterministically.
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 27)
+}
+
+/// The radix-vs-comparison spill sort in the engine's actual regime: a
+/// stream of spill-sized runs (task output ÷ partitions, the unit map
+/// workers sort), 18-bit keys, heavy duplicates, unsorted arrival. The
+/// radix side recycles one [`radix::RadixSorter`] across runs exactly
+/// like a map worker. Output equality means the *identical permutation*,
+/// ties included.
+fn radix_sort(opts: SuiteOptions) -> BenchRecord {
+    let (runs, run_len) = if opts.fast {
+        (64, 5_000)
+    } else {
+        (128, 18_750)
+    };
+    let total = (runs * run_len) as u64;
+    let base: Vec<Vec<(WKey, u64)>> = (0..runs as u64)
+        .map(|r| {
+            (0..run_len as u64)
+                .map(|i| (WKey::four(scramble(i ^ (r << 40)) % (1 << 18)), i))
+                .collect()
+        })
+        .collect();
+
+    // Both sides restore the unsorted input with a flat copy into
+    // preallocated buffers: the memcpy is shared and small, and no
+    // allocator traffic dilutes the sort-time ratio the CI gate watches.
+    let restore = |work: &mut [Vec<(WKey, u64)>]| {
+        for (w, b) in work.iter_mut().zip(&base) {
+            w.copy_from_slice(b);
+        }
+    };
+    let mut work = base.clone();
+    let (ref_s, ()) = time_best(opts.repeats, || {
+        restore(&mut work);
+        for run in &mut work {
+            run.sort_by_key(|p| p.0);
+        }
+    });
+    let reference = work;
+    let mut work = base.clone();
+    let mut sorter = radix::RadixSorter::new();
+    let (wall_s, ()) = time_best(opts.repeats, || {
+        restore(&mut work);
+        for run in &mut work {
+            sorter.sort(run);
+        }
+    });
+    let ours = work;
+    BenchRecord {
+        name: "radix_sort",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: total as f64 / wall_s.max(1e-12),
+        outputs_match: ours == reference,
+    }
+}
+
+/// Dense-table vs hash-map combining: the same combiner-heavy wordcount
+/// job on the pipelined engine, once with the radix codec + key-domain
+/// hint (dense flat-array combine) and once without (sort/hash combine).
+/// Outputs and logical metrics must be byte-identical.
+fn dense_combine(opts: SuiteOptions) -> BenchRecord {
+    let (splits, pairs_per_split) = if opts.fast {
+        (8u32, 40_000u64)
+    } else {
+        (16, 150_000)
+    };
+    let domain = 1u64 << 12;
+    let total_pairs = u64::from(splits) * pairs_per_split;
+    let cluster = ClusterConfig::single_machine();
+
+    let run = |use_hint: bool| {
+        let tasks: Vec<MapTask<WKey, u64>> = (0..splits)
+            .map(|j| {
+                MapTask::new(j, move |ctx| {
+                    for i in 0..pairs_per_split {
+                        let z = scramble(i ^ (u64::from(j) << 40));
+                        ctx.emit(WKey::four(z % domain), 1);
+                    }
+                })
+            })
+            .collect();
+        let mut spec = JobSpec::new(
+            "dense-combine",
+            tasks,
+            |k: &WKey, vs: &[u64], ctx: &mut wh_mapreduce::ReduceContext<(u64, u64)>| {
+                ctx.emit((k.id, vs.iter().sum()));
+            },
+        )
+        .with_combiner(|_k, vs: &mut Vec<u64>| {
+            let total: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(total);
+        })
+        .with_engine(EngineConfig::pipelined().with_reducers(4));
+        if use_hint {
+            spec = spec.with_radix_keys().with_engine(
+                EngineConfig::pipelined()
+                    .with_reducers(4)
+                    .with_key_domain(domain),
+            );
+        }
+        run_job(&cluster, spec)
+    };
+
+    let (ref_s, reference) = time_best(opts.repeats, || run(false));
+    let (wall_s, ours) = time_best(opts.repeats, || run(true));
+    BenchRecord {
+        name: "dense_combine",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: total_pairs as f64 / wall_s.max(1e-12),
+        outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+    }
+}
+
 /// Pure shuffle/reduce stress: mappers emit pre-generated unsorted pairs
-/// (negligible map CPU), so the timing isolates spill-sort + merge +
-/// reduce against the seed global sort + sequential reduce.
+/// (negligible map CPU), so the timing isolates radix spill-sort + merge
+/// + reduce against the seed global sort + sequential reduce.
 fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
     let (splits, pairs_per_split) = if opts.fast {
         (8, 40_000)
@@ -153,7 +280,10 @@ fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
                 ctx.emit((*k, vs.len() as u64));
             },
         )
-        .with_engine(engine.with_reducers(8));
+        // Radix-eligible 18-bit keys: the pipelined engine radix-sorts
+        // its spill runs; the reference engine ignores the codec.
+        .with_radix_keys()
+        .with_engine(engine.with_reducers(8).with_key_domain(1 << 18));
         run_job(&cluster, spec)
     };
 
@@ -274,7 +404,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR2.json`
+/// Renders the machine-readable suite report (the `BENCH_PR3.json`
 /// schema). Either section may be absent; the committed baseline carries
 /// both so the CI fast run and local full runs each have a like-for-like
 /// reference.
@@ -286,7 +416,7 @@ pub fn render_json(
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR2\",\n");
+    out.push_str("  \"suite\": \"PR3\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     match (full, fast) {
@@ -496,7 +626,7 @@ mod tests {
             fast: true,
             repeats: 1,
         });
-        assert_eq!(records.len(), 5);
+        assert_eq!(records.len(), 7);
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

@@ -156,9 +156,14 @@ impl HistogramBuilder for HWTopk {
                     ctx.emit((key.id, flags, split, w));
                 }
             };
+        // Coefficient indices live in [0, u) in every round: radix keys
+        // with a bounded domain throughout.
+        let engine = self.engine.with_key_domain(domain.u());
         let out = run_job(
             cluster,
-            JobSpec::new("h-wtopk-r1", map_tasks, reduce).with_engine(self.engine),
+            JobSpec::new("h-wtopk-r1", map_tasks, reduce)
+                .with_radix_keys()
+                .with_engine(engine),
         );
         metrics.absorb(&out.metrics);
 
@@ -213,7 +218,8 @@ impl HistogramBuilder for HWTopk {
         let out = run_job(
             cluster,
             JobSpec::new("h-wtopk-r2", map_tasks, reduce)
-                .with_engine(self.engine)
+                .with_radix_keys()
+                .with_engine(engine)
                 .with_broadcast(8),
         );
         metrics.absorb(&out.metrics);
@@ -257,7 +263,8 @@ impl HistogramBuilder for HWTopk {
         let out = run_job(
             cluster,
             JobSpec::new("h-wtopk-r3", map_tasks, reduce)
-                .with_engine(self.engine)
+                .with_radix_keys()
+                .with_engine(engine)
                 .with_broadcast(4 * candidates.len() as u64),
         );
         metrics.absorb(&out.metrics);

@@ -81,8 +81,10 @@ impl HistogramBuilder for ImprovedS {
         };
         let s_finish = Arc::clone(&s);
         let p = cfg.p();
+        // Sampled item keys live in [0, u): radix-eligible, bounded.
         let spec = JobSpec::new("improved-s", map_tasks, reduce)
-            .with_engine(self.engine)
+            .with_radix_keys()
+            .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let s = s_finish.lock();
                 // Iterate the shared accumulator in key order: with parallel reduce

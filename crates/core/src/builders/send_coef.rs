@@ -80,8 +80,11 @@ impl HistogramBuilder for SendCoef {
                 acc_reduce.lock().insert(key.id, vals.iter().sum());
             };
         let acc_finish = Arc::clone(&acc);
+        // Coefficient indices live in [0, u): radix-eligible keys with a
+        // bounded domain.
         let spec = JobSpec::new("send-coef", map_tasks, reduce)
-            .with_engine(self.engine)
+            .with_radix_keys()
+            .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let w = acc_finish.lock();
                 // Iterate the shared accumulator in key order: with parallel reduce

@@ -97,6 +97,8 @@ impl HistogramBuilder for SendSketch {
 
         let merged: Arc<Mutex<GroupCountSketch>> =
             Arc::new(Mutex::new(GroupCountSketch::new(domain, params)));
+        // Keys are global counter indices: bounded by the sketch size.
+        let counter_domain = merged.lock().total_counters() as u64;
         let merged_reduce = Arc::clone(&merged);
         let reduce =
             move |key: &WKey, vals: &[f64], ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
@@ -105,7 +107,8 @@ impl HistogramBuilder for SendSketch {
             };
         let merged_finish = Arc::clone(&merged);
         let spec = JobSpec::new("send-sketch", map_tasks, reduce)
-            .with_engine(self.engine)
+            .with_radix_keys()
+            .with_engine(self.engine.with_key_domain(counter_domain))
             .with_finish(move |ctx| {
                 let sketch = merged_finish.lock();
                 let budget = 8 * k.max(1) * domain.log_u().max(1) as usize;

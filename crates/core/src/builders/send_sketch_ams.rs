@@ -109,8 +109,10 @@ impl HistogramBuilder for SendSketchAms {
                 merged_reduce.lock().add_counter(key.id, vals.iter().sum());
             };
         let merged_finish = Arc::clone(&merged);
+        // Keys are CountSketch counter indices: bounded by rows × cols.
         let spec = JobSpec::new("send-sketch-ams", map_tasks, reduce)
-            .with_engine(self.engine)
+            .with_radix_keys()
+            .with_engine(self.engine.with_key_domain((rows * cols) as u64))
             .with_finish(move |ctx| {
                 let sketch = merged_finish.lock();
                 // Exhaustive query: probe every slot.

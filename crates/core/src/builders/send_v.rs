@@ -81,8 +81,11 @@ impl HistogramBuilder for SendV {
             v_reduce.lock().insert(key.id, total);
         };
         let v_finish = Arc::clone(&v);
+        // Item keys live in [0, u): radix-sort the spills and let the
+        // engine combine densely if it ever wants to.
         let spec = JobSpec::new("send-v", map_tasks, reduce)
-            .with_engine(self.engine)
+            .with_radix_keys()
+            .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let v = v_finish.lock();
                 // Iterate the shared accumulator in key order: with parallel reduce

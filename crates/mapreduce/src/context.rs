@@ -48,9 +48,17 @@ where
     V: WireSize,
 {
     pub(crate) fn new(split_id: u32) -> Self {
+        Self::with_buffer(split_id, Vec::new())
+    }
+
+    /// A context whose emit buffer reuses `buffer`'s allocation — how map
+    /// workers recycle the pair buffer across the tasks they execute
+    /// instead of reallocating it per task.
+    pub(crate) fn with_buffer(split_id: u32, mut buffer: Vec<(K, V)>) -> Self {
+        buffer.clear();
         Self {
             split_id,
-            pairs: Vec::new(),
+            pairs: buffer,
             records_read: 0,
             bytes_read: 0,
             cpu_ops: 0.0,

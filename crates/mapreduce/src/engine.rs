@@ -15,8 +15,15 @@
 //! Three properties make this both fast and exactly deterministic:
 //!
 //! 1. **Spills are pre-sorted per partition inside the map workers.** The
-//!    expensive `O(n log n)` comparison work happens in parallel, and the
-//!    old single-threaded global sort disappears entirely.
+//!    sort work happens in parallel, and the old single-threaded global
+//!    sort disappears entirely. Jobs whose keys carry a
+//!    [`RadixKey`](crate::RadixKey) codec ([`crate::JobSpec::with_radix_keys`])
+//!    sort spill runs with the LSD radix sort in [`crate::radix`] —
+//!    `O(n · key bytes)` with branch-free inner loops — and jobs that also
+//!    declare a bounded key domain ([`EngineConfig::key_domain_hint`])
+//!    combine through the flat-array table (the `dense` module) instead of
+//!    a hash map. Both specializations produce bit-identical output to the
+//!    comparison/hash paths they replace.
 //! 2. **The shuffle is a k-way merge per partition.** Each partition merges
 //!    its `m` sorted runs through an `m`-entry binary heap — `O(n log m)`
 //!    comparisons on `(key, split)` only. The partition component never
@@ -27,6 +34,12 @@
 //!    CPU are recombined in partition-index order, so the result — outputs,
 //!    metrics, and float summation order — is identical for any
 //!    `reducer_parallelism`, including 1.
+//!
+//! Map workers recycle their buffers across tasks — the emit buffer, the
+//! radix-sort scratch, and the dense combine table live per worker, not
+//! per task — and tiny jobs skip thread machinery entirely: the map loop
+//! runs inline when only one worker would be spawned, and the reduce
+//! phase stays serial below a pair-count spawn threshold.
 //!
 //! The determinism contract of the seed engine is preserved exactly: within
 //! a partition, the reduce function observes key groups in key order and
@@ -39,20 +52,26 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::context::{MapContext, ReduceContext};
 use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
+use crate::dense::DenseTable;
 use crate::job::{CombineFn, JobOutput, JobSpec, MapTask};
 use crate::metrics::RunMetrics;
+use crate::radix::{sort_pairs_with, RadixScratch};
 use crate::wire::WireSize;
-use wh_wavelet::hash::{FxHashMap, FxHasher};
+use wh_wavelet::hash::FxHasher;
 
 /// Borrowed form of the shared reduce function, passed into the merge
 /// machinery.
 type ReduceDyn<K, V, R> = dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync;
+
+/// Borrowed form of the shared Combine function.
+type CombineDyn<K, V> = dyn Fn(&K, &mut Vec<V>) + Send + Sync;
 
 /// Which executor [`crate::run_job`] dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +104,15 @@ pub struct EngineConfig {
     /// Pair-buffer size that triggers an in-flight combine when streaming;
     /// `0` combines only once, when the spill is collected.
     pub spill_chunk: usize,
+    /// Exclusive upper bound on the radix image of every key the job
+    /// emits, when the algorithm knows one (item keys in `[0, u)`,
+    /// coefficient indices, sketch counter indices…). Combined with
+    /// [`crate::JobSpec::with_radix_keys`] it routes combining through
+    /// the dense flat-array table instead of a hash map. Purely an
+    /// execution hint: outputs and metrics are unchanged, but a hint
+    /// smaller than an actual key **panics** (fail loudly rather than
+    /// mis-group). Ignored by the reference engine.
+    pub key_domain_hint: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +123,7 @@ impl Default for EngineConfig {
             reducer_parallelism: 0,
             streaming_combine: false,
             spill_chunk: 0,
+            key_domain_hint: None,
         }
     }
 }
@@ -137,6 +166,13 @@ impl EngineConfig {
         self.spill_chunk = pairs;
         self
     }
+
+    /// Declares that every key's radix image lies in `[0, domain)` —
+    /// see [`EngineConfig::key_domain_hint`].
+    pub fn with_key_domain(mut self, domain: u64) -> Self {
+        self.key_domain_hint = Some(domain);
+        self
+    }
 }
 
 /// The default partitioner: a deterministic Fx hash of the key. With one
@@ -148,44 +184,159 @@ pub fn default_partition<K: Hash>(key: &K) -> u64 {
     h.finish()
 }
 
+/// Domains above this cap fall back from the dense combine table to the
+/// sort-based path: a `u32` slot per domain value must stay small enough
+/// (≤ 16 MiB per map worker here) that the table is an optimization, not
+/// a memory liability.
+const DENSE_DOMAIN_MAX: u64 = 1 << 22;
+
+/// Jobs whose map output is at most this many pairs reduce serially: the
+/// per-thread spawn/join cost exceeds the reduce work itself, which is
+/// exactly the regime the sampling builders (a few thousand pairs) live
+/// in. Thread count never changes outputs, so this is timing-only.
+const REDUCE_SPAWN_MIN_PAIRS: u64 = 8192;
+
+/// Tasks with fewer pairs than this ship a flat (unpartitioned) spill in
+/// sort-at-reduce mode and let the shuffle scatter it: allocating
+/// `num_reducers` per-task partition buffers would cost more than the
+/// pairs they hold. Larger tasks scatter inside the map worker, where
+/// the hashing parallelizes.
+const SCATTER_MIN_PAIRS: usize = 1024;
+
 /// Groups `pairs` by key (preserving each key's value arrival order),
 /// applies the Combine function once per key, and returns the surviving
-/// pairs in ascending key order. Shared by the streaming compactor, the
-/// batch combine path, and the reference engine, so all three agree on
-/// combiner semantics byte for byte.
-pub(crate) fn group_combine<K, V>(
-    pairs: Vec<(K, V)>,
-    comb: &(dyn Fn(&K, &mut Vec<V>) + Send + Sync),
-) -> Vec<(K, V)>
+/// pairs in ascending key order. This is the **canonical combine
+/// semantics** shared by the streaming compactor, the batch combine path,
+/// the dense-domain table, and the reference engine — all agree byte for
+/// byte.
+///
+/// Keys are sorted and grouped in place; a key is only ever cloned when
+/// the combiner leaves it more than one surviving value.
+pub(crate) fn group_combine<K, V>(mut pairs: Vec<(K, V)>, comb: &CombineDyn<K, V>) -> Vec<(K, V)>
 where
-    K: Ord + Hash + Clone,
+    K: Ord + Clone,
 {
-    let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
-    for (k, v) in pairs {
-        groups.entry(k).or_default().push(v);
-    }
-    let mut keys: Vec<K> = groups.keys().cloned().collect();
-    keys.sort_unstable();
-    let mut out = Vec::with_capacity(keys.len());
-    for k in keys {
-        let mut vs = groups.remove(&k).expect("key collected from this map");
-        comb(&k, &mut vs);
-        for v in vs {
-            out.push((k.clone(), v));
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    group_sorted(pairs, comb)
+}
+
+/// Grouping half of [`group_combine`]: `pairs` must already be key-sorted
+/// (stably, arrival order within a key).
+fn group_sorted<K, V>(pairs: Vec<(K, V)>, comb: &CombineDyn<K, V>) -> Vec<(K, V)>
+where
+    K: Ord + Clone,
+{
+    let mut out = Vec::new();
+    let mut iter = pairs.into_iter();
+    let Some((mut key, first)) = iter.next() else {
+        return out;
+    };
+    let mut values = vec![first];
+    for (k, v) in iter {
+        if k == key {
+            values.push(v);
+        } else {
+            flush_group(&mut out, key, &mut values, comb);
+            key = k;
+            values.push(v);
         }
     }
+    flush_group(&mut out, key, &mut values, comb);
     out
 }
 
-/// One map task's spill: per-partition runs, each sorted by
-/// `(key, arrival order)`, plus the task's accounting.
+/// Runs the combiner over one key's values and appends the survivors,
+/// moving the key into the last pair (cloning only for the ones before).
+fn flush_group<K, V>(out: &mut Vec<(K, V)>, key: K, values: &mut Vec<V>, comb: &CombineDyn<K, V>)
+where
+    K: Clone,
+{
+    comb(&key, values);
+    let survivors = values.len();
+    let mut drained = values.drain(..);
+    for v in drained.by_ref().take(survivors.saturating_sub(1)) {
+        out.push((key.clone(), v));
+    }
+    if let Some(last) = drained.next() {
+        out.push((key, last));
+    }
+}
+
+/// Per-worker combine machinery, recycled across every map task (and
+/// every streaming compaction) that worker runs. Dispatches to the dense
+/// flat-array table when the job declared a bounded key domain, and to
+/// the radix- or comparison-sorted grouping otherwise.
+struct MapCombiner<K, V> {
+    codec: Option<fn(&K) -> u64>,
+    dense: Option<DenseTable<K, V>>,
+    scratch: RadixScratch,
+}
+
+impl<K, V> MapCombiner<K, V>
+where
+    K: Ord + Clone,
+{
+    fn new(codec: Option<fn(&K) -> u64>, dense_domain: Option<usize>) -> Self {
+        Self {
+            codec,
+            dense: dense_domain.map(DenseTable::new),
+            scratch: RadixScratch::default(),
+        }
+    }
+
+    /// In-place [`group_combine`], byte-identical across all three
+    /// strategies (dense table / radix sort / comparison sort).
+    fn combine(&mut self, pairs: &mut Vec<(K, V)>, comb: &CombineDyn<K, V>) {
+        if let (Some(codec), Some(table)) = (self.codec, self.dense.as_mut()) {
+            table.combine(pairs, codec, comb);
+            return;
+        }
+        let mut taken = std::mem::take(pairs);
+        match self.codec {
+            Some(codec) => sort_pairs_with(&mut taken, codec, &mut self.scratch),
+            None => taken.sort_by(|a, b| a.0.cmp(&b.0)),
+        }
+        *pairs = group_sorted(taken, comb);
+    }
+}
+
+/// One map task's spill, plus the task's accounting. `scattered` spills
+/// carry one run per partition (sorted by `(key, arrival order)` when
+/// the job merges at reduce time); flat spills carry the task's pairs as
+/// a single unpartitioned list — the shape tiny tasks ship in
+/// sort-at-reduce mode, where per-task partition buffers would cost more
+/// than the pairs they hold and the shuffle scatters instead.
 struct TaskSpill<K, V> {
     split_id: u32,
     runs: Vec<Vec<(K, V)>>,
+    scattered: bool,
     work: TaskWork,
     records_read: u64,
     pairs: u64,
     bytes: u64,
+}
+
+/// Worker-local state of the map phase, recycled across the tasks this
+/// worker executes: the emit buffer handed to each [`MapContext`], the
+/// radix-sort scratch for spill runs, and the shared combine machinery
+/// (shared with the task's streaming compactor when one is installed).
+struct MapWorker<K, V> {
+    pairs_buf: Vec<(K, V)>,
+    scratch: RadixScratch,
+    combine: Arc<Mutex<MapCombiner<K, V>>>,
+}
+
+impl<K, V> MapWorker<K, V>
+where
+    K: Ord + Clone,
+{
+    fn new(codec: Option<fn(&K) -> u64>, dense_domain: Option<usize>) -> Self {
+        Self {
+            pairs_buf: Vec::new(),
+            scratch: RadixScratch::default(),
+            combine: Arc::new(Mutex::new(MapCombiner::new(codec, dense_domain))),
+        }
+    }
 }
 
 /// Executes one round on the pipelined engine. Entry point is
@@ -204,10 +355,26 @@ where
         broadcast_bytes,
         finish,
         engine,
+        key_codec,
         ..
     } = spec;
     assert!(engine.num_reducers >= 1, "need at least one reducer");
     let nparts = engine.num_reducers as usize;
+    // The dense table only earns its keep when there is a combiner to
+    // run through it, a codec to index it with, and a domain small
+    // enough to sit in a flat array.
+    let dense_domain: Option<usize> = match (key_codec, engine.key_domain_hint, &combiner) {
+        (Some(_), Some(u), Some(_)) if u <= DENSE_DOMAIN_MAX => Some(u as usize),
+        _ => None,
+    };
+    // Radix jobs with several partitions skip the map-side run sort and
+    // the reduce-side merge entirely: each reduce partition radix-sorts
+    // its concatenated runs once (stable, runs in split-id order), which
+    // is the exact merge sequence at strictly less data movement. With a
+    // single partition the map-side sort stays — it is what parallelizes
+    // the sort work across map workers when everything reduces in one
+    // place.
+    let reduce_sort: Option<fn(&K) -> u64> = if nparts > 1 { key_codec } else { None };
 
     // ---- Map phase (parallel): run, combine, partition, sort — all
     // inside the worker thread that owns the task. ----
@@ -220,78 +387,102 @@ where
         .map_or(4, |p| p.get())
         .min(task_queue.len().max(1));
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= task_queue.len() {
-                    break;
-                }
-                let task = task_queue[i].lock().take().expect("each task taken once");
-                let mut ctx = MapContext::new(task.split_id);
-                if engine.streaming_combine {
-                    if let Some(comb) = &combiner {
-                        ctx.install_compactor(
-                            make_compactor(CombineFn::clone(comb)),
-                            engine.spill_chunk,
-                        );
-                    }
-                }
-                (task.run)(&mut ctx);
-                let MapContext {
-                    mut pairs,
-                    compactor,
-                    records_read,
-                    bytes_read,
-                    cpu_ops,
-                    ..
-                } = ctx;
-                if let Some(compact) = &compactor {
-                    // Streaming mode: one final full grouping so every key
-                    // ends fully combined, exactly like the batch path.
-                    compact(&mut pairs);
-                } else if let Some(comb) = &combiner {
-                    pairs = group_combine(pairs, comb.as_ref());
-                }
-                let mut npairs = 0u64;
-                let mut nbytes = 0u64;
-                for (k, v) in &pairs {
-                    npairs += 1;
-                    nbytes += k.wire_bytes() + v.wire_bytes();
-                }
-                let mut runs: Vec<Vec<(K, V)>> = if nparts == 1 {
-                    vec![pairs]
-                } else {
-                    // Reserve the expected per-partition share up front so
-                    // the scatter loop rarely reallocates.
-                    let expect = pairs.len() / nparts + 16;
-                    let mut rs: Vec<Vec<(K, V)>> =
-                        (0..nparts).map(|_| Vec::with_capacity(expect)).collect();
-                    for (k, v) in pairs {
-                        let p = (partitioner(&k) % nparts as u64) as usize;
-                        rs[p].push((k, v));
-                    }
-                    rs
-                };
-                for run in &mut runs {
-                    // Stable by key: arrival order within a key survives.
-                    run.sort_by(|a, b| a.0.cmp(&b.0));
-                }
-                spills.lock().push(TaskSpill {
-                    split_id: task.split_id,
-                    runs,
-                    work: TaskWork {
-                        bytes_scanned: bytes_read,
-                        cpu_ops,
-                    },
-                    records_read,
-                    pairs: npairs,
-                    bytes: nbytes,
-                });
-            });
+    let run_tasks = |state: &mut MapWorker<K, V>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= task_queue.len() {
+            break;
         }
-        // std::thread::scope joins all workers and re-raises any panic.
-    });
+        let task = task_queue[i].lock().take().expect("each task taken once");
+        let mut ctx = MapContext::with_buffer(task.split_id, std::mem::take(&mut state.pairs_buf));
+        if engine.streaming_combine {
+            if let Some(comb) = &combiner {
+                ctx.install_compactor(
+                    make_compactor(CombineFn::clone(comb), Arc::clone(&state.combine)),
+                    engine.spill_chunk,
+                );
+            }
+        }
+        (task.run)(&mut ctx);
+        let MapContext {
+            mut pairs,
+            compactor,
+            records_read,
+            bytes_read,
+            cpu_ops,
+            ..
+        } = ctx;
+        if let Some(compact) = &compactor {
+            // Streaming mode: one final full grouping so every key
+            // ends fully combined, exactly like the batch path.
+            compact(&mut pairs);
+        } else if let Some(comb) = &combiner {
+            state.combine.lock().combine(&mut pairs, comb.as_ref());
+        }
+        let mut npairs = 0u64;
+        let mut nbytes = 0u64;
+        for (k, v) in &pairs {
+            npairs += 1;
+            nbytes += k.wire_bytes() + v.wire_bytes();
+        }
+        let (mut runs, scattered): (Vec<Vec<(K, V)>>, bool) = if nparts == 1 {
+            (vec![std::mem::take(&mut pairs)], true)
+        } else if reduce_sort.is_some() && pairs.len() < SCATTER_MIN_PAIRS {
+            // Tiny task in sort-at-reduce mode: ship the pairs flat and
+            // let the shuffle scatter them — R per-task partition
+            // buffers would cost more than the pairs they hold.
+            (vec![std::mem::take(&mut pairs)], false)
+        } else {
+            // Reserve the expected per-partition share up front so the
+            // scatter loop rarely reallocates.
+            let expect = pairs.len() / nparts + 16;
+            let mut rs: Vec<Vec<(K, V)>> =
+                (0..nparts).map(|_| Vec::with_capacity(expect)).collect();
+            for (k, v) in pairs.drain(..) {
+                let p = (partitioner(&k) % nparts as u64) as usize;
+                rs[p].push((k, v));
+            }
+            (rs, true)
+        };
+        // The (now empty) emit buffer keeps its allocation for the next
+        // task this worker picks up.
+        state.pairs_buf = pairs;
+        if reduce_sort.is_none() {
+            for run in &mut runs {
+                // Stable by key: arrival order within a key survives. The
+                // radix sort produces the identical permutation when the
+                // job declared a key codec.
+                match key_codec {
+                    Some(codec) => sort_pairs_with(run, codec, &mut state.scratch),
+                    None => run.sort_by(|a, b| a.0.cmp(&b.0)),
+                }
+            }
+        }
+        spills.lock().push(TaskSpill {
+            split_id: task.split_id,
+            runs,
+            scattered,
+            work: TaskWork {
+                bytes_scanned: bytes_read,
+                cpu_ops,
+            },
+            records_read,
+            pairs: npairs,
+            bytes: nbytes,
+        });
+    };
+
+    if workers <= 1 {
+        // Serial fast path: one worker would be spawned only to be
+        // joined again — run its loop inline on this thread instead.
+        run_tasks(&mut MapWorker::new(key_codec, dense_domain));
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| run_tasks(&mut MapWorker::new(key_codec, dense_domain)));
+            }
+            // std::thread::scope joins all workers and re-raises any panic.
+        });
+    }
 
     let mut per_task = spills.into_inner();
     per_task.sort_by_key(|t| t.split_id);
@@ -309,6 +500,12 @@ where
     let mut partitions: Vec<Vec<Vec<(K, V)>>> = (0..nparts)
         .map(|_| Vec::with_capacity(per_task.len()))
         .collect();
+    // Flat spills from tiny tasks scatter here, accumulating into one
+    // consolidated tail run per partition. Tasks arrive in split-id
+    // order, and a tail is flushed ahead of any scattered run that
+    // follows it, so every partition's runs stay in (split id, arrival)
+    // order — which is all the sort-at-reduce path needs.
+    let mut tails: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::new()).collect();
     for t in per_task {
         task_work.push(t.work);
         metrics.records_scanned += t.records_read;
@@ -316,10 +513,27 @@ where
         metrics.cpu_ops += t.work.cpu_ops;
         metrics.map_output_pairs += t.pairs;
         metrics.shuffle_bytes += t.bytes;
-        for (p, run) in t.runs.into_iter().enumerate() {
-            if !run.is_empty() {
-                partitions[p].push(run);
+        if t.scattered {
+            for (p, run) in t.runs.into_iter().enumerate() {
+                if !run.is_empty() {
+                    if !tails[p].is_empty() {
+                        partitions[p].push(std::mem::take(&mut tails[p]));
+                    }
+                    partitions[p].push(run);
+                }
             }
+        } else {
+            for run in t.runs {
+                for (k, v) in run {
+                    let p = (partitioner(&k) % nparts as u64) as usize;
+                    tails[p].push((k, v));
+                }
+            }
+        }
+    }
+    for (p, tail) in tails.into_iter().enumerate() {
+        if !tail.is_empty() {
+            partitions[p].push(tail);
         }
     }
     let wall_shuffle_s = shuffle_start.elapsed().as_secs_f64();
@@ -327,7 +541,11 @@ where
     // ---- Reduce phase: one context per partition, optionally in
     // parallel, stitched in partition-index order. ----
     let reduce_start = Instant::now();
-    let threads = if engine.reducer_parallelism == 0 {
+    let threads = if metrics.map_output_pairs < REDUCE_SPAWN_MIN_PAIRS {
+        // Serial fast path: spawning per-partition threads for a few
+        // thousand pairs costs more than reducing them.
+        1
+    } else if engine.reducer_parallelism == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         engine.reducer_parallelism
@@ -336,14 +554,14 @@ where
     .max(1);
 
     let contexts: Vec<ReduceContext<R>> = if threads <= 1 {
-        partitions
-            .into_iter()
-            .map(|runs| {
-                let mut rctx = ReduceContext::new();
-                reduce_partition(runs, reduce.as_ref(), &mut rctx);
-                rctx
-            })
-            .collect()
+        let mut scratch = RadixScratch::default();
+        let mut out = Vec::with_capacity(nparts);
+        for runs in partitions {
+            let mut rctx = ReduceContext::new();
+            reduce_partition(runs, reduce_sort, &mut scratch, reduce.as_ref(), &mut rctx);
+            out.push(rctx);
+        }
+        out
     } else {
         type Slot<K, V, R> = Mutex<(Option<Vec<Vec<(K, V)>>>, Option<ReduceContext<R>>)>;
         let slots: Vec<Slot<K, V, R>> = partitions
@@ -353,15 +571,24 @@ where
         let next_part = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let p = next_part.fetch_add(1, Ordering::Relaxed);
-                    if p >= slots.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = RadixScratch::default();
+                    loop {
+                        let p = next_part.fetch_add(1, Ordering::Relaxed);
+                        if p >= slots.len() {
+                            break;
+                        }
+                        let runs = slots[p].lock().0.take().expect("each partition taken once");
+                        let mut rctx = ReduceContext::new();
+                        reduce_partition(
+                            runs,
+                            reduce_sort,
+                            &mut scratch,
+                            reduce.as_ref(),
+                            &mut rctx,
+                        );
+                        slots[p].lock().1 = Some(rctx);
                     }
-                    let runs = slots[p].lock().0.take().expect("each partition taken once");
-                    let mut rctx = ReduceContext::new();
-                    reduce_partition(runs, reduce.as_ref(), &mut rctx);
-                    slots[p].lock().1 = Some(rctx);
                 });
             }
         });
@@ -405,27 +632,54 @@ where
     JobOutput { outputs, metrics }
 }
 
-fn make_compactor<K, V>(comb: CombineFn<K, V>) -> crate::context::Compactor<K, V>
+fn make_compactor<K, V>(
+    comb: CombineFn<K, V>,
+    state: Arc<Mutex<MapCombiner<K, V>>>,
+) -> crate::context::Compactor<K, V>
 where
-    K: Ord + Hash + Clone + Send + 'static,
+    K: Ord + Clone + Send + 'static,
     V: Send + 'static,
 {
     Box::new(move |pairs| {
         if pairs.len() > 1 {
-            *pairs = group_combine(std::mem::take(pairs), comb.as_ref());
+            state.lock().combine(pairs, comb.as_ref());
         }
     })
 }
 
-/// Reduces one partition: merges its sorted runs and invokes `reduce` per
-/// key group, values in `(split id, arrival order)` order.
+/// Reduces one partition and invokes `reduce` per key group, values in
+/// `(split id, arrival order)` order.
+///
+/// With `sort_by: None` the runs arrive pre-sorted from the map workers
+/// and are k-way merged. With `sort_by: Some(codec)` the runs arrive
+/// **unsorted** and the partition radix-sorts its split-ordered
+/// concatenation once: the sort is stable, so equal keys keep
+/// `(split id, arrival order)` — the exact merge sequence, with no merge.
 fn reduce_partition<K, V, R>(
     runs: Vec<Vec<(K, V)>>,
+    sort_by: Option<fn(&K) -> u64>,
+    scratch: &mut RadixScratch,
     reduce: &ReduceDyn<K, V, R>,
     rctx: &mut ReduceContext<R>,
 ) where
     K: Ord,
 {
+    if let Some(codec) = sort_by {
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut all = match runs.len() {
+            1 => runs.into_iter().next().expect("one run"),
+            _ => {
+                let mut all = Vec::with_capacity(total);
+                for run in runs {
+                    all.extend(run);
+                }
+                all
+            }
+        };
+        sort_pairs_with(&mut all, codec, scratch);
+        reduce_sorted_run(all, reduce, rctx);
+        return;
+    }
     match runs.len() {
         0 => {}
         1 => {
@@ -499,6 +753,13 @@ impl<K: Ord, V> Ord for MergeEntry<K, V> {
 /// `log₂ m` predictable comparisons plus streaming copies.
 const HEAP_MERGE_MAX_RUNS: usize = 8;
 
+/// Partitions at most this many pairs skip the merge machinery entirely:
+/// concatenating the runs (split-id order) and stably re-sorting by key
+/// yields the identical `(key, split id, arrival order)` sequence with
+/// one tiny sort instead of a heap or ladder over dozens of micro-runs —
+/// the regime the sampling builders put every partition in.
+const MERGE_CONCAT_MAX_PAIRS: usize = 4096;
+
 /// Merges `m` sorted runs and feeds key groups straight into `reduce` —
 /// the shuffle never materializes a global concatenated vector and never
 /// compares partition ids. Narrow fan-ins use the `m`-entry min-heap
@@ -510,6 +771,18 @@ fn merge_runs<K, V, R>(
 ) where
     K: Ord,
 {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    if total <= MERGE_CONCAT_MAX_PAIRS {
+        // Stable sort of the split-ordered concatenation = the exact
+        // merge sequence, cheaper than merging many tiny runs.
+        let mut all = Vec::with_capacity(total);
+        for run in runs {
+            all.extend(run);
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        reduce_sorted_run(all, reduce, rctx);
+        return;
+    }
     if runs.len() > HEAP_MERGE_MAX_RUNS {
         let merged = ladder_merge(runs);
         reduce_sorted_run(merged, reduce, rctx);
@@ -611,13 +884,21 @@ fn merge_two<K: Ord, V>(a: Vec<(K, V)>, b: Vec<(K, V)>) -> Vec<(K, V)> {
 mod tests {
     use super::*;
 
-    fn collect_groups(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, Vec<u32>)> {
+    fn collect_groups_via(
+        runs: Vec<Vec<(u32, u32)>>,
+        sort_by: Option<fn(&u32) -> u64>,
+    ) -> Vec<(u32, Vec<u32>)> {
         let mut rctx = ReduceContext::new();
+        let mut scratch = RadixScratch::default();
         let reduce = |k: &u32, vs: &[u32], ctx: &mut ReduceContext<(u32, Vec<u32>)>| {
             ctx.emit((*k, vs.to_vec()));
         };
-        reduce_partition(runs, &reduce, &mut rctx);
+        reduce_partition(runs, sort_by, &mut scratch, &reduce, &mut rctx);
         rctx.outputs
+    }
+
+    fn collect_groups(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, Vec<u32>)> {
+        collect_groups_via(runs, None)
     }
 
     #[test]
@@ -640,14 +921,16 @@ mod tests {
     }
 
     #[test]
-    fn both_merge_routes_yield_the_specified_sequence() {
-        // Heap (m ≤ 8) and ladder (m > 8) must both produce the sequence
-        // of a stable global sort by (key, run index).
+    fn all_merge_routes_yield_the_specified_sequence() {
+        // Concat (≤ MERGE_CONCAT_MAX_PAIRS total), heap (m ≤ 8), and
+        // ladder (m > 8) must all produce the sequence of a stable global
+        // sort by (key, run index). Runs of 600 pairs put m ≥ 7 above the
+        // concat threshold; smaller m exercises the concat route.
         let mk_runs = |m: usize| -> Vec<Vec<(u32, u32)>> {
             (0..m)
                 .map(|r| {
-                    let mut run: Vec<(u32, u32)> = (0..20)
-                        .map(|i| ((i * (r as u32 + 3)) % 17, (r * 100 + i as usize) as u32))
+                    let mut run: Vec<(u32, u32)> = (0..600)
+                        .map(|i| ((i * (r as u32 + 3)) % 17, (r * 1000 + i as usize) as u32))
                         .collect();
                     run.sort_by_key(|&(k, _)| k);
                     run
@@ -669,6 +952,21 @@ mod tests {
                 }
             }
             assert_eq!(collect_groups(mk_runs(m)), expected, "m={m}");
+            // The sort-at-reduce route (unsorted runs + one stable radix
+            // sort of the concatenation) must yield the same sequence.
+            let unsorted: Vec<Vec<(u32, u32)>> = mk_runs(m)
+                .into_iter()
+                .map(|mut run| {
+                    // Undo the per-run sort: arrival order is value order.
+                    run.sort_by_key(|&(_, v)| v);
+                    run
+                })
+                .collect();
+            assert_eq!(
+                collect_groups_via(unsorted, Some(|k: &u32| u64::from(*k))),
+                expected,
+                "m={m} (sort-at-reduce)"
+            );
         }
     }
 
@@ -699,6 +997,109 @@ mod tests {
         let pairs = vec![(9u32, 1u64), (2, 2), (9, 3), (2, 4)];
         let out = group_combine(pairs, &|_k, _vs| {});
         assert_eq!(out, vec![(2, 2), (2, 4), (9, 1), (9, 3)]);
+    }
+
+    /// A key that counts how often it is cloned — the probe behind the
+    /// no-clone guarantee of [`group_combine`].
+    #[derive(Debug)]
+    struct CountingKey {
+        id: u32,
+        clones: Arc<AtomicUsize>,
+    }
+
+    impl CountingKey {
+        fn new(id: u32, clones: &Arc<AtomicUsize>) -> Self {
+            Self {
+                id,
+                clones: Arc::clone(clones),
+            }
+        }
+    }
+
+    impl Clone for CountingKey {
+        fn clone(&self) -> Self {
+            self.clones.fetch_add(1, Ordering::Relaxed);
+            Self {
+                id: self.id,
+                clones: Arc::clone(&self.clones),
+            }
+        }
+    }
+
+    impl PartialEq for CountingKey {
+        fn eq(&self, other: &Self) -> bool {
+            self.id == other.id
+        }
+    }
+    impl Eq for CountingKey {}
+    impl PartialOrd for CountingKey {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for CountingKey {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.id.cmp(&other.id)
+        }
+    }
+
+    #[test]
+    fn group_combine_never_clones_keys_when_the_combiner_collapses() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        let pairs: Vec<(CountingKey, u64)> = (0..200u64)
+            .map(|i| (CountingKey::new((i % 17) as u32, &clones), i))
+            .collect();
+        let out = group_combine(pairs, &|_k, vs: &mut Vec<u64>| {
+            let total: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(total);
+        });
+        assert_eq!(out.len(), 17);
+        assert_eq!(
+            clones.load(Ordering::Relaxed),
+            0,
+            "collapsing combiner must never clone a key"
+        );
+    }
+
+    #[test]
+    fn group_combine_clones_only_for_extra_survivors() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        // 3 keys × 4 values each, identity combiner: each key keeps 4
+        // values → 3 clones per key beyond the moved one.
+        let pairs: Vec<(CountingKey, u64)> = (0..12u64)
+            .map(|i| (CountingKey::new((i % 3) as u32, &clones), i))
+            .collect();
+        let out = group_combine(pairs, &|_k, _vs| {});
+        assert_eq!(out.len(), 12);
+        assert_eq!(clones.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn map_combiner_strategies_agree_byte_for_byte() {
+        let comb = |_k: &u32, vs: &mut Vec<u64>| {
+            let total: u64 = vs.iter().sum();
+            vs.clear();
+            vs.push(total);
+            vs.push(total / 2);
+        };
+        let pairs: Vec<(u32, u64)> = (0..700u64).map(|i| ((i * 13 % 97) as u32, i)).collect();
+        let want = group_combine(pairs.clone(), &comb);
+
+        let codec: fn(&u32) -> u64 = |k| u64::from(*k);
+        for dense_domain in [None, Some(97)] {
+            let mut state: MapCombiner<u32, u64> = MapCombiner::new(Some(codec), dense_domain);
+            // Twice, to prove the recycled state resets cleanly.
+            for round in 0..2 {
+                let mut got = pairs.clone();
+                state.combine(&mut got, &comb);
+                assert_eq!(got, want, "dense={dense_domain:?} round={round}");
+            }
+        }
+        let mut no_codec: MapCombiner<u32, u64> = MapCombiner::new(None, None);
+        let mut got = pairs;
+        no_codec.combine(&mut got, &comb);
+        assert_eq!(got, want);
     }
 
     #[test]

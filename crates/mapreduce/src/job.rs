@@ -91,8 +91,16 @@ pub struct JobSpec<K, V, R> {
     /// assembled from aggregated state.
     pub finish: Option<FinishFn<R>>,
     /// Execution-engine knobs: reducer count and parallelism, streaming
-    /// combining, spill chunk size, engine selection.
+    /// combining, spill chunk size, key-domain hint, engine selection.
     pub engine: EngineConfig,
+    /// Order-preserving `u64` key codec, installed by
+    /// [`JobSpec::with_radix_keys`] when `K` implements
+    /// [`crate::RadixKey`]. Drives the pipelined engine's radix spill
+    /// sort and (with [`EngineConfig::key_domain_hint`]) the dense
+    /// combine table; `None` falls back to comparison sorting. Kept
+    /// crate-private so only the sealed trait can supply codecs — the
+    /// engine's determinism contract depends on order preservation.
+    pub(crate) key_codec: Option<fn(&K) -> u64>,
 }
 
 impl<K, V, R> JobSpec<K, V, R>
@@ -116,7 +124,23 @@ where
             broadcast_bytes: 0,
             finish: None,
             engine: EngineConfig::default(),
+            key_codec: None,
         }
+    }
+
+    /// Declares that `K`'s order-preserving [`crate::RadixKey`] image
+    /// drives the engine's radix specializations: spill runs sort through
+    /// the LSD radix sort instead of comparisons, and — when the engine
+    /// also carries an [`EngineConfig::key_domain_hint`] — combining runs
+    /// through the dense flat-array table instead of a hash map. Outputs
+    /// and metrics are bit-identical with or without this call; it is
+    /// purely an execution strategy.
+    pub fn with_radix_keys(mut self) -> Self
+    where
+        K: crate::radix::RadixKey,
+    {
+        self.key_codec = Some(|k: &K| k.to_radix());
+        self
     }
 
     /// Sets the combiner.

@@ -38,15 +38,27 @@
 //! survives as [`reference::run_job_reference`], the executable
 //! specification that differential tests and the `wh-bench` regression
 //! harness compare against. [`EngineConfig`] exposes the knobs (reducer
-//! count, reduce parallelism, streaming combining, spill chunk size);
-//! [`RunMetrics`] now carries real per-phase wall-clock next to the
-//! simulated cluster time.
+//! count, reduce parallelism, streaming combining, spill chunk size,
+//! key-domain hint); [`RunMetrics`] carries real per-phase wall-clock
+//! next to the simulated cluster time.
+//!
+//! Since PR 3 the engine is radix-specialized for the small-integer keys
+//! every algorithm in the paper shuffles: a job whose key type implements
+//! the sealed [`RadixKey`] trait ([`JobSpec::with_radix_keys`]) sorts its
+//! spills through the LSD radix/counting sort in [`radix`] — the exact
+//! permutation of the comparison sort it replaces — and, given a bounded
+//! key domain ([`EngineConfig::key_domain_hint`]), combines through a
+//! recycled flat-array table instead of a hash map. Map workers reuse
+//! their buffers across tasks, and tiny jobs skip thread spawns on both
+//! the map and reduce sides.
 
 pub mod context;
 pub mod cost;
+mod dense;
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod radix;
 pub mod reference;
 pub mod state;
 pub mod wire;
@@ -56,6 +68,7 @@ pub use cost::{ClusterConfig, MachineSpec};
 pub use engine::{EngineConfig, EngineMode};
 pub use job::{run_job, JobOutput, JobSpec, MapTask};
 pub use metrics::RunMetrics;
+pub use radix::RadixKey;
 pub use reference::run_job_reference;
 pub use state::StateStore;
 pub use wire::WireSize;

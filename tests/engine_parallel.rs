@@ -225,8 +225,144 @@ fn count_job(
     (out.outputs, out.metrics)
 }
 
+/// A combiner-equipped wordcount used by the radix/dense differential
+/// properties: same algorithmic content, different execution strategy.
+fn combine_count_job(
+    splits: Vec<Vec<u64>>,
+    engine: EngineConfig,
+    radix: bool,
+) -> (Vec<(u64, u64)>, wavelet_hist::mapreduce::RunMetrics) {
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .into_iter()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                for k in &keys {
+                    ctx.emit(WKey::four(*k), 1);
+                }
+            })
+        })
+        .collect();
+    let mut spec = JobSpec::new(
+        "radix-prop",
+        tasks,
+        |k: &WKey, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((k.id, vs.iter().sum()));
+        },
+    )
+    .with_combiner(|_k, vs: &mut Vec<u64>| {
+        let total: u64 = vs.iter().sum();
+        vs.clear();
+        vs.push(total);
+    })
+    .with_engine(engine);
+    if radix {
+        spec = spec.with_radix_keys();
+    }
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
+}
+
+/// Sorts `(key, (split, seq))` pairs with the public radix sort and with
+/// the stable comparison sort it replaces; the permutations must be
+/// identical, ties included (the payload is the arrival identity).
+fn assert_radix_sort_matches<K>(keys: Vec<K>)
+where
+    K: wavelet_hist::mapreduce::RadixKey + Clone + std::fmt::Debug,
+{
+    let pairs: Vec<(K, (u32, u32))> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, ((i % 9) as u32, i as u32)))
+        .collect();
+    let mut want = pairs.clone();
+    want.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut got = pairs;
+    wavelet_hist::mapreduce::radix::sort_pairs(&mut got);
+    assert_eq!(got, want);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite (PR 3): the LSD radix sort produces the identical
+    /// permutation as the stable comparison sort for **every** sealed
+    /// `RadixKey` impl — full-width values and heavy-tie reductions of
+    /// the same raw material, ties preserving (split, arrival) order.
+    #[test]
+    fn radix_sort_matches_comparison_for_every_impl(
+        raw in prop::collection::vec(0u64..u64::MAX, 0..400),
+    ) {
+        assert_radix_sort_matches::<u64>(raw.clone());
+        assert_radix_sort_matches::<u64>(raw.iter().map(|&x| x % 23).collect());
+        assert_radix_sort_matches::<u32>(raw.iter().map(|&x| x as u32).collect());
+        assert_radix_sort_matches::<u16>(raw.iter().map(|&x| x as u16).collect());
+        assert_radix_sort_matches::<u8>(raw.iter().map(|&x| x as u8).collect());
+        assert_radix_sort_matches::<i64>(raw.iter().map(|&x| x as i64).collect());
+        assert_radix_sort_matches::<i32>(raw.iter().map(|&x| x as i32).collect());
+        assert_radix_sort_matches::<i16>(raw.iter().map(|&x| x as i16).collect());
+        assert_radix_sort_matches::<i8>(raw.iter().map(|&x| x as i8).collect());
+        assert_radix_sort_matches::<WKey>(
+            raw.iter().map(|&x| WKey::four(x % 1024)).collect(),
+        );
+        assert_radix_sort_matches::<(u32, u32)>(
+            raw.iter().map(|&x| ((x >> 32) as u32 % 7, x as u32 % 5)).collect(),
+        );
+        assert_radix_sort_matches::<(u16, u16)>(
+            raw.iter().map(|&x| (x as u16 % 11, (x >> 16) as u16 % 3)).collect(),
+        );
+    }
+
+    /// Satellite (PR 3): the dense-domain combine table and the radix
+    /// spill sort are byte-identical to the hash/comparison paths on
+    /// random jobs — outputs *and* metrics — including under streaming
+    /// combining and any reducer count.
+    #[test]
+    fn dense_domain_combine_equals_hash_combine(
+        splits in splits_strategy(),
+        reducers in 1u32..5,
+    ) {
+        let plain = EngineConfig::default().with_reducers(reducers);
+        // Keys are < 60 (the strategy's bound), so 64 is a valid hint.
+        let hinted = plain.with_key_domain(64);
+        let base = combine_count_job(splits.clone(), plain, false);
+        let radix_only = combine_count_job(splits.clone(), plain, true);
+        let dense = combine_count_job(splits.clone(), hinted, true);
+        let dense_streaming = combine_count_job(
+            splits,
+            hinted.with_streaming_combine(true).with_spill_chunk(16),
+            true,
+        );
+        prop_assert_eq!(&base.0, &radix_only.0);
+        prop_assert_eq!(&base.1, &radix_only.1);
+        prop_assert_eq!(&base.0, &dense.0);
+        prop_assert_eq!(&base.1, &dense.1);
+        prop_assert_eq!(&base.0, &dense_streaming.0);
+        prop_assert_eq!(&base.1, &dense_streaming.1);
+    }
+
+    /// Differential: radix + dense specializations against the preserved
+    /// seed engine, bit for bit.
+    #[test]
+    fn radix_engine_equals_reference_engine(
+        splits in splits_strategy(),
+        reducers in 1u32..5,
+    ) {
+        let specialized = combine_count_job(
+            splits.clone(),
+            EngineConfig::pipelined()
+                .with_reducers(reducers)
+                .with_key_domain(64),
+            true,
+        );
+        let reference = combine_count_job(
+            splits,
+            EngineConfig::reference().with_reducers(reducers),
+            false,
+        );
+        prop_assert_eq!(specialized.0, reference.0);
+        prop_assert_eq!(specialized.1, reference.1);
+    }
 
     /// Differential: the pipelined engine equals the preserved seed engine
     /// bit for bit, for any reducer count.
