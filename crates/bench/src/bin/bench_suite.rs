@@ -1,28 +1,41 @@
-//! Runs the fixed engine-benchmark suite and emits `BENCH_PR3.json`.
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR4.json`.
 //!
 //! ```text
 //! cargo run -p wh-bench --release --bin bench_suite                 # full suite
 //! cargo run -p wh-bench --release --bin bench_suite -- --fast      # CI smoke scale
-//! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # full + fast → committed file
+//! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # all sections → committed file
 //! cargo run -p wh-bench --release --bin bench_suite -- \
-//!     --fast --out bench-current.json --check BENCH_PR3.json       # regression gate
+//!     --fast --threads 4 --out bench-current.json \
+//!     --check BENCH_PR4.json                                        # one CI matrix leg
 //! ```
 //!
-//! `--check BASELINE` compares the fresh run's per-bench `relative_cost`
-//! (pipelined ÷ reference engine, same machine, same run) against the
-//! matching mode section of the committed baseline and exits nonzero on
-//! more than 25 % regression or on any output divergence between the
-//! engines. `--baseline` runs both scales and writes both sections —
-//! that is how the committed `BENCH_PR3.json` is produced.
+//! `--threads N` pins the engines' map and reduce parallelism on both
+//! sides of every bench; each `(mode, threads)` combination lives in its
+//! own report section (`fast_benches_t4`, …) because relative cost
+//! genuinely depends on the thread budget. `--check BASELINE` compares
+//! the fresh run's per-bench `relative_cost` (pipelined ÷ reference
+//! engine, same machine, same run) against the matching section of the
+//! committed baseline and exits nonzero on more than 25 % regression or
+//! on any output divergence between the engines; when
+//! `$GITHUB_STEP_SUMMARY` is set (every GitHub Actions step), it also
+//! appends a per-bench delta table there so regressions are readable in
+//! the run summary without downloading the report artifact. `--baseline`
+//! runs the full suite plus the fast suite unpinned and at 1 and 4
+//! threads, writing all four sections — that is how the committed
+//! `BENCH_PR4.json` is produced.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wh_bench::suite::{check_regression, render_json, run_suite, BenchRecord, SuiteOptions};
+use wh_bench::suite::{
+    check_regression, render_delta_table, render_json, run_suite, section_for, BenchRecord,
+    SuiteOptions,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_suite [--fast | --baseline] [--repeats N] [--out FILE] [--check BASELINE]"
+        "usage: bench_suite [--fast | --baseline] [--threads N] [--repeats N] \
+         [--out FILE] [--check BASELINE]"
     );
     std::process::exit(2);
 }
@@ -45,17 +58,45 @@ fn print_table(records: &[BenchRecord]) {
     }
 }
 
+/// Appends `markdown` to the file `$GITHUB_STEP_SUMMARY` names, when the
+/// Actions runner provides one. Failures are reported but never fatal —
+/// the summary is a convenience, the exit code is the gate.
+fn append_step_summary(markdown: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{markdown}"));
+    if let Err(e) = appended {
+        eprintln!("cannot append step summary to {path}: {e}");
+    }
+}
+
 fn main() -> ExitCode {
     let mut fast = false;
     let mut baseline_mode = false;
+    let mut threads = 0usize;
     let mut repeats: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_PR3.json");
+    let mut out = PathBuf::from("BENCH_PR4.json");
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
             "--baseline" => baseline_mode = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--repeats" => {
                 repeats = Some(
                     args.next()
@@ -79,33 +120,53 @@ fn main() -> ExitCode {
 
     let json;
     let current: Vec<BenchRecord>;
+    let section: String;
     if baseline_mode {
-        eprintln!("running full + fast suites on {cores} core(s), best of {repeats} …");
-        let full = run_suite(SuiteOptions {
-            fast: false,
-            repeats,
-        });
-        print_table(&full);
-        let fast_records = run_suite(SuiteOptions {
-            fast: true,
-            repeats,
-        });
-        println!("-- fast scale --");
-        print_table(&fast_records);
-        json = render_json(Some(&full), Some(&fast_records), repeats);
-        current = full;
+        // The committed baseline carries every section CI gates (the
+        // fast 1- and 4-thread matrix legs) plus the unpinned full and
+        // fast sections for local runs.
+        let mut sections: Vec<(String, Vec<BenchRecord>)> = Vec::new();
+        for (f, t) in [(false, 0usize), (true, 0), (true, 1), (true, 4)] {
+            let name = section_for(f, t);
+            eprintln!(
+                "running {} suite (threads={}) on {cores} core(s), best of {repeats} …",
+                if f { "fast" } else { "full" },
+                if t == 0 {
+                    "auto".to_string()
+                } else {
+                    t.to_string()
+                },
+            );
+            let records = run_suite(SuiteOptions {
+                fast: f,
+                repeats,
+                threads: t,
+            });
+            println!("-- {name} --");
+            print_table(&records);
+            sections.push((name, records));
+        }
+        json = render_json(&sections, repeats);
+        section = section_for(false, 0);
+        current = sections.swap_remove(0).1;
     } else {
+        section = section_for(fast, threads);
         eprintln!(
-            "running {} suite on {cores} core(s), best of {repeats} …",
-            if fast { "fast" } else { "full" }
+            "running {} suite (threads={}) on {cores} core(s), best of {repeats} …",
+            if fast { "fast" } else { "full" },
+            if threads == 0 {
+                "auto".to_string()
+            } else {
+                threads.to_string()
+            },
         );
-        current = run_suite(SuiteOptions { fast, repeats });
+        current = run_suite(SuiteOptions {
+            fast,
+            repeats,
+            threads,
+        });
         print_table(&current);
-        json = if fast {
-            render_json(None, Some(&current), repeats)
-        } else {
-            render_json(Some(&current), None, repeats)
-        };
+        json = render_json(&[(section.clone(), current.clone())], repeats);
     }
 
     if let Err(e) = std::fs::write(&out, &json) {
@@ -122,10 +183,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match check_regression(&baseline, &current, fast, 0.25) {
+        // The delta table goes to the Actions step summary whether the
+        // gate passes or fails — green runs document their headroom.
+        append_step_summary(&render_delta_table(&baseline, &current, &section));
+        match check_regression(&baseline, &current, &section, 0.25) {
             Ok(()) => eprintln!(
-                "regression check vs {} passed (tolerance 25%)",
-                baseline_path.display()
+                "regression check vs {} [{}] passed (tolerance 25%)",
+                baseline_path.display(),
+                section
             ),
             Err(errors) => {
                 for e in &errors {

@@ -1,7 +1,7 @@
-//! The fixed benchmark suite behind `BENCH_PR3.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR4.json` and the CI
 //! regression gate.
 //!
-//! Seven benchmarks, each timing the **optimized** side against a
+//! Eight benchmarks, each timing the **optimized** side against a
 //! baseline measured in the same process and run:
 //!
 //! | name | optimized side | baseline side |
@@ -9,7 +9,8 @@
 //! | `haar_forward` | in-place Haar transform | allocating transform |
 //! | `radix_sort` | LSD radix sort of a spill run | stable comparison sort |
 //! | `dense_combine` | dense-table combining (radix + domain hint) | hash-map combining |
-//! | `shuffle_throughput` | radix spill → k-way merge → parallel reduce | global sort + sequential reduce |
+//! | `dense_reduce` | dense-reduce strategy (flat slot arrays) | sort-at-reduce strategy |
+//! | `shuffle_throughput` | radix shuffle → parallel dense reduce | global sort + sequential reduce |
 //! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
@@ -21,6 +22,12 @@
 //! on a >25 % regression. Output correctness is asserted, not assumed:
 //! every engine-vs-engine bench requires bit-identical outputs and equal
 //! logical metrics before its timing counts.
+//!
+//! The suite can pin an explicit thread budget ([`SuiteOptions::threads`]
+//! sets both engines' map and reduce parallelism), and each `(fast,
+//! threads)` combination regresses only against its own baseline section
+//! ([`section_for`]): CI runs the fast suite at 1 and 4 threads, so the
+//! gate watches the parallel speedups, not just the single-core ratios.
 
 use std::time::Instant;
 
@@ -37,6 +44,13 @@ pub struct SuiteOptions {
     pub fast: bool,
     /// Timed repetitions per side; the minimum is reported.
     pub repeats: usize,
+    /// Thread budget pinned on **both** sides of every engine bench (map
+    /// and reduce parallelism alike); `0` leaves the engines on their
+    /// one-thread-per-core default. Each value gets its own baseline
+    /// section (see [`section_for`]), because relative cost genuinely
+    /// depends on it — the pipelined engine parallelizes where the
+    /// reference engine is serial.
+    pub threads: usize,
 }
 
 impl Default for SuiteOptions {
@@ -44,7 +58,19 @@ impl Default for SuiteOptions {
         Self {
             fast: false,
             repeats: 3,
+            threads: 0,
         }
+    }
+}
+
+/// Pins `threads` on every parallelism knob of `engine` (no-op when 0).
+fn with_threads(engine: EngineConfig, threads: usize) -> EngineConfig {
+    if threads == 0 {
+        engine
+    } else {
+        engine
+            .with_map_parallelism(threads)
+            .with_reducer_parallelism(threads)
     }
 }
 
@@ -96,6 +122,7 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
         haar_forward(opts),
         radix_sort(opts),
         dense_combine(opts),
+        dense_reduce(opts),
         shuffle_throughput(opts),
         end_to_end_send_coef(opts),
         end_to_end_send_v(opts),
@@ -224,13 +251,17 @@ fn dense_combine(opts: SuiteOptions) -> BenchRecord {
             vs.clear();
             vs.push(total);
         })
-        .with_engine(EngineConfig::pipelined().with_reducers(4));
+        .with_engine(with_threads(
+            EngineConfig::pipelined().with_reducers(4),
+            opts.threads,
+        ));
         if use_hint {
-            spec = spec.with_radix_keys().with_engine(
+            spec = spec.with_radix_keys().with_engine(with_threads(
                 EngineConfig::pipelined()
                     .with_reducers(4)
                     .with_key_domain(domain),
-            );
+                opts.threads,
+            ));
         }
         run_job(&cluster, spec)
     };
@@ -246,9 +277,101 @@ fn dense_combine(opts: SuiteOptions) -> BenchRecord {
     }
 }
 
+/// Dense-reduce vs sort-at-reduce on a combiner-less bounded-domain
+/// workload — the two strategies that take identical unsorted runs from
+/// the map side: flat slot-array aggregation (radix codec + domain hint)
+/// against one stable radix sort per partition (codec only). Outputs and
+/// logical metrics must be byte-identical; without a combiner every
+/// emitted pair reaches the reducers, which is exactly the regime
+/// Send-Coef/Send-V put the reduce side in. Keys are
+/// **range-partitioned**, the natural layout for coefficient indices
+/// (contiguous wavelet subtrees per reducer) — and the layout the dense
+/// strategy's partition-range-sized tables are built for: every
+/// partition's slot array covers `domain / R` keys, not the whole
+/// domain. Both sides run the identical partitioner.
+///
+/// Unlike the end-to-end benches, the timed quantity is the jobs'
+/// **reduce-phase wall clock** (`RunMetrics::wall_reduce_s`): the map
+/// and shuffle work is identical code on identical data for both
+/// strategies (asserted via byte-identical outputs and metrics), so
+/// timing whole jobs would only dilute the strategy ratio with shared
+/// map-side noise. What is compared is exactly the machinery that
+/// differs.
+fn dense_reduce(opts: SuiteOptions) -> BenchRecord {
+    let (splits, pairs_per_split) = if opts.fast {
+        (8u32, 40_000u64)
+    } else {
+        (16, 150_000)
+    };
+    // A Send-Coef-shaped reduce domain: wide enough (2¹⁷ coefficient
+    // keys) that a comparison-free flat table genuinely beats sorting —
+    // at this width the radix sort needs LSD digit passes, while the
+    // dense table stays one histogram regardless.
+    let domain = 1u64 << 17;
+    let reducers = 8u64;
+    // Power-of-two range per reducer, so the (shared) partitioner is one
+    // shift instead of a 64-bit division on the map side's hot path.
+    let range_bits = (domain / reducers).trailing_zeros();
+    let total_pairs = u64::from(splits) * pairs_per_split;
+    let cluster = ClusterConfig::single_machine();
+
+    let run = |hinted: bool| {
+        let tasks: Vec<MapTask<u64, u64>> = (0..splits)
+            .map(|j| {
+                MapTask::new(j, move |ctx| {
+                    for i in 0..pairs_per_split {
+                        let z = scramble(i ^ (u64::from(j) << 40));
+                        ctx.emit(z % domain, i);
+                    }
+                })
+            })
+            .collect();
+        let mut engine = with_threads(
+            EngineConfig::pipelined().with_reducers(reducers as u32),
+            opts.threads,
+        );
+        if hinted {
+            engine = engine.with_key_domain(domain);
+        }
+        let spec = JobSpec::new(
+            "dense-reduce",
+            tasks,
+            |k: &u64, vs: &[u64], ctx: &mut wh_mapreduce::ReduceContext<(u64, u64)>| {
+                ctx.emit((*k, vs.len() as u64));
+            },
+        )
+        .with_radix_keys()
+        .with_partitioner(move |k: &u64| k >> range_bits)
+        .with_engine(engine);
+        run_job(&cluster, spec)
+    };
+
+    // Best reduce-phase wall over the repeats; the last job's outputs
+    // back the equality assertion.
+    let phase_best = |hinted: bool| {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..opts.repeats.max(1) {
+            let out = run(hinted);
+            best = best.min(out.metrics.wall_reduce_s);
+            last = Some(out);
+        }
+        (best, last.expect("at least one repetition"))
+    };
+    let (ref_s, reference) = phase_best(false);
+    let (wall_s, ours) = phase_best(true);
+    BenchRecord {
+        name: "dense_reduce",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: total_pairs as f64 / wall_s.max(1e-12),
+        outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+    }
+}
+
 /// Pure shuffle/reduce stress: mappers emit pre-generated unsorted pairs
-/// (negligible map CPU), so the timing isolates radix spill-sort + merge
-/// + reduce against the seed global sort + sequential reduce.
+/// (negligible map CPU), so the timing isolates the radix shuffle and
+/// dense reduce against the seed global sort + sequential reduce.
 fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
     let (splits, pairs_per_split) = if opts.fast {
         (8, 40_000)
@@ -280,10 +403,14 @@ fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
                 ctx.emit((*k, vs.len() as u64));
             },
         )
-        // Radix-eligible 18-bit keys: the pipelined engine radix-sorts
-        // its spill runs; the reference engine ignores the codec.
+        // Radix-eligible 18-bit keys with a bounded domain: the pipelined
+        // engine ships unsorted runs and dense-reduces each partition;
+        // the reference engine ignores both knobs.
         .with_radix_keys()
-        .with_engine(engine.with_reducers(8).with_key_domain(1 << 18));
+        .with_engine(with_threads(
+            engine.with_reducers(8).with_key_domain(1 << 18),
+            opts.threads,
+        ));
         run_job(&cluster, spec)
     };
 
@@ -325,10 +452,18 @@ fn end_to_end<B: HistogramBuilder>(
     // multi-reducer deployment.
     let reducers = cluster.num_slaves() as u32;
     let (ref_s, reference) = time_best(opts.repeats, || {
-        make(EngineConfig::reference().with_reducers(reducers)).build(dataset, &cluster, k)
+        make(with_threads(
+            EngineConfig::reference().with_reducers(reducers),
+            opts.threads,
+        ))
+        .build(dataset, &cluster, k)
     });
     let (wall_s, ours) = time_best(opts.repeats, || {
-        make(EngineConfig::pipelined().with_reducers(reducers)).build(dataset, &cluster, k)
+        make(with_threads(
+            EngineConfig::pipelined().with_reducers(reducers),
+            opts.threads,
+        ))
+        .build(dataset, &cluster, k)
     });
     let same_histogram = ours.histogram.coefficients() == reference.histogram.coefficients();
     let same_metrics: bool = {
@@ -372,15 +507,21 @@ fn end_to_end_two_level(opts: SuiteOptions) -> BenchRecord {
     })
 }
 
-/// Section name a mode's records live under in the report: full-scale
-/// runs and fast (CI smoke) runs are **not** comparable to each other —
-/// fast workloads are far less shuffle-bound — so each mode regresses
-/// only against its own committed section.
-pub fn section_for(fast: bool) -> &'static str {
-    if fast {
-        "fast_benches"
+/// Section name a `(fast, threads)` combination's records live under in
+/// the report. Full-scale runs and fast (CI smoke) runs are **not**
+/// comparable to each other — fast workloads are far less shuffle-bound —
+/// and neither are runs at different pinned thread budgets, because more
+/// threads lower the pipelined engine's relative cost while the reference
+/// engine stays serial. So each combination regresses only against its
+/// own committed section: `benches` / `fast_benches` for unpinned runs,
+/// with a `_t{threads}` suffix when a budget is pinned (the CI matrix
+/// gates `fast_benches_t1` and `fast_benches_t4`).
+pub fn section_for(fast: bool, threads: usize) -> String {
+    let base = if fast { "fast_benches" } else { "benches" };
+    if threads == 0 {
+        base.to_string()
     } else {
-        "benches"
+        format!("{base}_t{threads}")
     }
 }
 
@@ -404,29 +545,23 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR3.json`
-/// schema). Either section may be absent; the committed baseline carries
-/// both so the CI fast run and local full runs each have a like-for-like
-/// reference.
-pub fn render_json(
-    full: Option<&[BenchRecord]>,
-    fast: Option<&[BenchRecord]>,
-    repeats: usize,
-) -> String {
+/// Renders the machine-readable suite report (the `BENCH_PR4.json`
+/// schema): one JSON array per `(section name, records)` pair. Any subset
+/// of sections may be present; the committed baseline carries every
+/// combination CI gates plus the unpinned full/fast sections, so each
+/// kind of run has a like-for-like reference.
+pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR3\",\n");
+    out.push_str("  \"suite\": \"PR4\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
-    match (full, fast) {
-        (Some(f), Some(q)) => {
-            render_section(&mut out, section_for(false), f, false);
-            render_section(&mut out, section_for(true), q, true);
-        }
-        (Some(f), None) => render_section(&mut out, section_for(false), f, true),
-        (None, Some(q)) => render_section(&mut out, section_for(true), q, true),
-        (None, None) => out.push_str("  \"benches\": []\n"),
+    if sections.is_empty() {
+        out.push_str("  \"benches\": []\n");
+    }
+    for (i, (name, records)) in sections.iter().enumerate() {
+        render_section(&mut out, name, records, i + 1 == sections.len());
     }
     out.push_str("}\n");
     out
@@ -441,14 +576,15 @@ pub fn render_json(
 /// the reference side. Output equality is enforced regardless.
 pub const MIN_COMPARABLE_WALL_S: f64 = 0.005;
 
-/// Compares `records` against the matching mode section of a committed
-/// baseline JSON. A bench regresses when its `relative_cost` (pipelined ÷
-/// reference, measured on the *same* machine) grows by more than
-/// `tolerance` (0.25 = 25 %) over the baseline's, or when outputs stop
-/// matching. Absolute seconds are deliberately not compared — CI machines
-/// differ from the one that committed the baseline — and benches whose
-/// pipelined side runs below [`MIN_COMPARABLE_WALL_S`] are exempt from
-/// the ratio check (timing noise, not signal).
+/// Compares `records` against the named section of a committed baseline
+/// JSON (use [`section_for`] to derive the section from the run's mode
+/// and thread budget). A bench regresses when its `relative_cost`
+/// (pipelined ÷ reference, measured on the *same* machine) grows by more
+/// than `tolerance` (0.25 = 25 %) over the baseline's, or when outputs
+/// stop matching. Absolute seconds are deliberately not compared — CI
+/// machines differ from the one that committed the baseline — and benches
+/// whose pipelined side runs below [`MIN_COMPARABLE_WALL_S`] are exempt
+/// from the ratio check (timing noise, not signal).
 ///
 /// One asymmetry to know about: the committed baseline records its core
 /// count, and more cores lower the true relative cost (the pipelined
@@ -456,18 +592,19 @@ pub const MIN_COMPARABLE_WALL_S: f64 = 0.005;
 /// multi-core run against a lower-core baseline therefore only adds
 /// slack — the gate never false-fails from core count, it just catches
 /// only grosser regressions until the baseline is regenerated on
-/// runner-shaped hardware.
+/// runner-shaped hardware. The pinned-thread sections (`…_t1`, `…_t4`)
+/// exist to shrink exactly that slack: a `_t4` run compares against a
+/// `_t4` baseline, so the gate finally sees the parallel speedups.
 pub fn check_regression(
     baseline_json: &str,
     records: &[BenchRecord],
-    fast: bool,
+    section: &str,
     tolerance: f64,
 ) -> Result<(), Vec<String>> {
     let baseline = match serde_json::parse(baseline_json) {
         Ok(v) => v,
         Err(e) => return Err(vec![format!("baseline JSON unreadable: {e:?}")]),
     };
-    let section = section_for(fast);
     let mut errors = Vec::new();
     let benches = match baseline.get(section).and_then(|b| match b {
         serde_json::Value::Array(items) => Some(items.clone()),
@@ -532,6 +669,64 @@ pub fn check_regression(
     }
 }
 
+/// Renders a GitHub-flavored-markdown table of per-bench deltas between
+/// the committed baseline section and `records` — what the CI bench job
+/// appends to `$GITHUB_STEP_SUMMARY`, so a regression is readable in the
+/// run summary without downloading the report artifact. Entries the
+/// baseline cannot resolve render as `—`; this function never fails, it
+/// only reports ([`check_regression`] is the gate).
+pub fn render_delta_table(baseline_json: &str, records: &[BenchRecord], section: &str) -> String {
+    let baseline = serde_json::parse(baseline_json).ok();
+    let benches = baseline
+        .as_ref()
+        .and_then(|b| b.get(section))
+        .and_then(|b| match b {
+            serde_json::Value::Array(items) => Some(items.clone()),
+            _ => None,
+        });
+    let mut out = format!("### Bench gate — `{section}`\n\n");
+    out.push_str("| bench | baseline cost | current cost | delta | outputs |\n");
+    out.push_str("|---|---:|---:|---:|:---:|\n");
+    for r in records {
+        let base_cost = benches.as_ref().and_then(|items| {
+            items
+                .iter()
+                .find(|b| matches!(b.get("name"), Some(serde_json::Value::Str(s)) if s == r.name))
+                .and_then(|b| b.get("relative_cost"))
+                .and_then(serde_json::Value::as_f64)
+        });
+        let current = r.relative_cost();
+        let (base_cell, delta_cell) = match base_cost {
+            Some(b) if b > 0.0 => (
+                format!("{b:.4}"),
+                format!("{:+.1}%", (current / b - 1.0) * 100.0),
+            ),
+            _ => ("—".to_string(), "—".to_string()),
+        };
+        // Sub-noise-floor timings are exempt from the gate; mark them so
+        // a reader does not chase a phantom delta.
+        let noise = if r.wall_s < MIN_COMPARABLE_WALL_S {
+            " (below noise floor)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {}{} | {} |\n",
+            r.name,
+            base_cell,
+            current,
+            delta_cell,
+            noise,
+            if r.outputs_match {
+                "✓"
+            } else {
+                "✗ diverged"
+            },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,63 +741,99 @@ mod tests {
         }
     }
 
+    fn one_section(name: &str, records: &[BenchRecord]) -> String {
+        render_json(&[(name.to_string(), records.to_vec())], 3)
+    }
+
+    #[test]
+    fn section_names_encode_mode_and_thread_budget() {
+        assert_eq!(section_for(false, 0), "benches");
+        assert_eq!(section_for(true, 0), "fast_benches");
+        assert_eq!(section_for(true, 1), "fast_benches_t1");
+        assert_eq!(section_for(true, 4), "fast_benches_t4");
+        assert_eq!(section_for(false, 8), "benches_t8");
+    }
+
     #[test]
     fn json_roundtrips_through_vendored_parser() {
         let full = vec![record("haar_forward", 0.5, 1.0)];
-        let fast = vec![record("haar_forward", 0.1, 0.15)];
-        let json = render_json(Some(&full), Some(&fast), 3);
+        let fast_t1 = vec![record("haar_forward", 0.1, 0.15)];
+        let fast_t4 = vec![record("haar_forward", 0.1, 0.3)];
+        let json = render_json(
+            &[
+                (section_for(false, 0), full.clone()),
+                (section_for(true, 1), fast_t1.clone()),
+                (section_for(true, 4), fast_t4.clone()),
+            ],
+            3,
+        );
         let v = serde_json::parse(&json).expect("valid JSON");
         assert_eq!(
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR4".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
-        // per mode section.
-        check_regression(&json, &full, false, 0.25).expect("full self-comparison");
-        check_regression(&json, &fast, true, 0.25).expect("fast self-comparison");
+        // per section.
+        check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
+        check_regression(&json, &fast_t1, "fast_benches_t1", 0.25).expect("t1 self-comparison");
+        check_regression(&json, &fast_t4, "fast_benches_t4", 0.25).expect("t4 self-comparison");
+        // Thread sections are independent: t4's better ratio must not
+        // leak into the t1 comparison and vice versa.
+        assert!(check_regression(&json, &fast_t1, "fast_benches_t4", 0.25).is_err());
     }
 
     #[test]
     fn regression_detected_beyond_tolerance() {
-        let baseline = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
+        let baseline = one_section("benches", &[record("x", 0.5, 1.0)]);
         // Same relative cost: fine.
-        check_regression(&baseline, &[record("x", 1.0, 2.0)], false, 0.25).expect("no regression");
+        check_regression(&baseline, &[record("x", 1.0, 2.0)], "benches", 0.25)
+            .expect("no regression");
         // 2× relative cost: flagged.
-        let got = check_regression(&baseline, &[record("x", 1.0, 1.0)], false, 0.25);
+        let got = check_regression(&baseline, &[record("x", 1.0, 1.0)], "benches", 0.25);
         assert!(got.is_err());
         // Diverged outputs always fail.
         let mut bad = record("x", 0.5, 1.0);
         bad.outputs_match = false;
-        assert!(check_regression(&baseline, &[bad], false, 0.25).is_err());
+        assert!(check_regression(&baseline, &[bad], "benches", 0.25).is_err());
     }
 
     #[test]
     fn modes_regress_only_against_their_own_section() {
-        let full_only = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
+        let full_only = one_section("benches", &[record("x", 0.5, 1.0)]);
         // A fast-mode run cannot be judged against a full-only baseline.
-        let err = check_regression(&full_only, &[record("x", 0.5, 1.0)], true, 0.25).unwrap_err();
-        assert!(err[0].contains("fast_benches"), "{err:?}");
+        let err = check_regression(
+            &full_only,
+            &[record("x", 0.5, 1.0)],
+            "fast_benches_t4",
+            0.25,
+        )
+        .unwrap_err();
+        assert!(err[0].contains("fast_benches_t4"), "{err:?}");
     }
 
     #[test]
     fn sub_millisecond_benches_skip_the_ratio_check() {
-        let baseline = render_json(Some(&[record("tiny", 0.0001, 0.0002)]), None, 3);
+        let baseline = one_section("benches", &[record("tiny", 0.0001, 0.0002)]);
         // 10x relative-cost growth, but the pipelined side is below the
         // noise floor: only output equality is enforced.
-        check_regression(&baseline, &[record("tiny", 0.002, 0.0004)], false, 0.25)
+        check_regression(&baseline, &[record("tiny", 0.002, 0.0004)], "benches", 0.25)
             .expect("noise-floor benches are exempt from ratio checks");
         let mut bad = record("tiny", 0.0001, 0.0002);
         bad.outputs_match = false;
-        assert!(check_regression(&baseline, &[bad], false, 0.25).is_err());
+        assert!(check_regression(&baseline, &[bad], "benches", 0.25).is_err());
         // A pipelined side well above the floor is checked even against a
         // tiny reference side — that shape is a real regression.
-        assert!(check_regression(&baseline, &[record("tiny", 0.1, 0.0004)], false, 0.25).is_err());
+        assert!(
+            check_regression(&baseline, &[record("tiny", 0.1, 0.0004)], "benches", 0.25).is_err()
+        );
     }
 
     #[test]
     fn baseline_without_relative_cost_fails_loudly() {
         let baseline = r#"{"schema": "wh-bench-suite/1", "benches": [{"name": "x"}]}"#;
-        let err = check_regression(baseline, &[record("x", 1.0, 1.0)], false, 0.25).unwrap_err();
+        let err =
+            check_regression(baseline, &[record("x", 1.0, 1.0)], "benches", 0.25).unwrap_err();
         assert!(
             err.iter().any(|e| e.contains("no numeric relative_cost")),
             "{err:?}"
@@ -611,8 +842,9 @@ mod tests {
 
     #[test]
     fn missing_bench_in_baseline_is_an_error() {
-        let baseline = render_json(Some(&[record("x", 0.5, 1.0)]), None, 3);
-        let err = check_regression(&baseline, &[record("y", 0.5, 1.0)], false, 0.25).unwrap_err();
+        let baseline = one_section("benches", &[record("x", 0.5, 1.0)]);
+        let err =
+            check_regression(&baseline, &[record("y", 0.5, 1.0)], "benches", 0.25).unwrap_err();
         assert!(
             err.iter().any(|e| e.contains("missing from baseline")),
             "{err:?}"
@@ -620,13 +852,39 @@ mod tests {
     }
 
     #[test]
+    fn delta_table_reports_costs_and_divergence() {
+        let baseline = one_section("fast_benches_t1", &[record("x", 0.5, 1.0)]);
+        let mut diverged = record("z", 0.2, 0.4);
+        diverged.outputs_match = false;
+        let table = render_delta_table(
+            &baseline,
+            &[record("x", 0.75, 1.0), diverged],
+            "fast_benches_t1",
+        );
+        assert!(table.contains("`fast_benches_t1`"), "{table}");
+        // x: baseline cost 0.5, current 0.75 → +50%.
+        assert!(
+            table.contains("| x | 0.5000 | 0.7500 | +50.0% | ✓ |"),
+            "{table}"
+        );
+        // z: no baseline entry → em-dashes, divergence flagged.
+        assert!(
+            table.contains("| z | — | 0.5000 | — | ✗ diverged |"),
+            "{table}"
+        );
+    }
+
+    #[test]
     fn fast_suite_smoke() {
-        // The real thing, tiny: engines must agree on every bench.
+        // The real thing, tiny: engines must agree on every bench. A
+        // pinned thread budget exercises the parallelism plumbing even on
+        // a single-core test machine.
         let records = run_suite(SuiteOptions {
             fast: true,
             repeats: 1,
+            threads: 2,
         });
-        assert_eq!(records.len(), 7);
+        assert_eq!(records.len(), 8);
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

@@ -99,7 +99,10 @@ impl HistogramBuilder for BasicS {
         };
         let s_finish = Arc::clone(&s);
         let p = cfg.p();
-        // Sampled item keys live in [0, u): radix-eligible, bounded.
+        // Sampled item keys live in [0, u); `u` is the tightest static
+        // bound (the sample itself is data-dependent), and the
+        // dense-reduce tables shrink to each partition's actual sampled
+        // key range at run time, so the loose-looking hint costs nothing.
         let spec = JobSpec::new("basic-s", map_tasks, reduce)
             .with_radix_keys()
             .with_engine(self.engine.with_key_domain(domain.u()))

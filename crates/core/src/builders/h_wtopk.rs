@@ -156,8 +156,12 @@ impl HistogramBuilder for HWTopk {
                     ctx.emit((key.id, flags, split, w));
                 }
             };
-        // Coefficient indices live in [0, u) in every round: radix keys
-        // with a bounded domain throughout.
+        // All three rounds key their messages by wavelet coefficient
+        // index, and rounds 2–3 only re-send indices already seen in
+        // round 1 — so `u` is the tight exclusive bound for every round,
+        // and one hinted engine config serves all of them (the
+        // dense-reduce tables size themselves to each partition's actual,
+        // typically much narrower, key range per round).
         let engine = self.engine.with_key_domain(domain.u());
         let out = run_job(
             cluster,

@@ -80,8 +80,11 @@ impl HistogramBuilder for SendCoef {
                 acc_reduce.lock().insert(key.id, vals.iter().sum());
             };
         let acc_finish = Arc::clone(&acc);
-        // Coefficient indices live in [0, u): radix-eligible keys with a
-        // bounded domain.
+        // Coefficient indices live in [0, u) and the sparse transform can
+        // emit any of them, so `u` is the tight exclusive bound: radix
+        // keys + bounded domain select the dense-reduce strategy, whose
+        // per-partition tables size themselves to each partition's actual
+        // key range (hash partitioning spreads [0, u) across reducers).
         let spec = JobSpec::new("send-coef", map_tasks, reduce)
             .with_radix_keys()
             .with_engine(self.engine.with_key_domain(domain.u()))

@@ -97,7 +97,10 @@ impl HistogramBuilder for SendSketch {
 
         let merged: Arc<Mutex<GroupCountSketch>> =
             Arc::new(Mutex::new(GroupCountSketch::new(domain, params)));
-        // Keys are global counter indices: bounded by the sketch size.
+        // Keys are global GCS counter indices in [0, total_counters):
+        // the sketch never emits an index beyond its own size, so this is
+        // the tight exclusive bound (and far smaller than `u`, which
+        // keeps the dense-reduce slot arrays tiny).
         let counter_domain = merged.lock().total_counters() as u64;
         let merged_reduce = Arc::clone(&merged);
         let reduce =

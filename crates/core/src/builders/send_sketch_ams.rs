@@ -109,7 +109,9 @@ impl HistogramBuilder for SendSketchAms {
                 merged_reduce.lock().add_counter(key.id, vals.iter().sum());
             };
         let merged_finish = Arc::clone(&merged);
-        // Keys are CountSketch counter indices: bounded by rows × cols.
+        // Keys are CountSketch counter indices in [0, rows · cols): the
+        // tight exclusive bound of `counter_entries`, far smaller than
+        // `u` — dense-reduce slot arrays stay a few KB per partition.
         let spec = JobSpec::new("send-sketch-ams", map_tasks, reduce)
             .with_radix_keys()
             .with_engine(self.engine.with_key_domain((rows * cols) as u64))

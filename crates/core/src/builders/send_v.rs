@@ -81,8 +81,10 @@ impl HistogramBuilder for SendV {
             v_reduce.lock().insert(key.id, total);
         };
         let v_finish = Arc::clone(&v);
-        // Item keys live in [0, u): radix-sort the spills and let the
-        // engine combine densely if it ever wants to.
+        // Item keys live in [0, u) and any item can occur, so `u` is the
+        // tight exclusive bound: radix keys + bounded domain select the
+        // dense-reduce strategy, whose per-partition tables size
+        // themselves to each partition's actual key range.
         let spec = JobSpec::new("send-v", map_tasks, reduce)
             .with_radix_keys()
             .with_engine(self.engine.with_key_domain(domain.u()))

@@ -118,7 +118,10 @@ impl HistogramBuilder for TwoLevelS {
             s_reduce.lock().insert(key.id, acc);
         };
         let s_finish = Arc::clone(&s);
-        // Sampled item keys live in [0, u): radix-eligible, bounded.
+        // Sampled item keys live in [0, u); `u` is the tightest static
+        // bound (second-level draws are data-dependent), and the
+        // dense-reduce tables shrink to each partition's actual key range
+        // at run time, so the loose-looking hint costs nothing.
         let spec = JobSpec::new("two-level-s", map_tasks, reduce)
             .with_radix_keys()
             .with_engine(self.engine.with_key_domain(domain.u()))

@@ -1,5 +1,6 @@
 //! Map- and reduce-side execution contexts.
 
+use crate::metrics::ReduceStrategy;
 use crate::wire::WireSize;
 
 /// Type-erased in-flight compaction hook installed by the engine when the
@@ -119,6 +120,11 @@ where
 pub struct ReduceContext<R> {
     pub(crate) outputs: Vec<R>,
     pub(crate) cpu_ops: f64,
+    /// Which reduce strategy produced this partition's key groups. Set by
+    /// the pipelined engine's `reduce_partition` and harvested into
+    /// [`crate::RunMetrics::reduce_strategies`] when outputs are stitched;
+    /// `None` for the Close-hook context and the reference engine.
+    pub(crate) strategy: Option<ReduceStrategy>,
 }
 
 impl<R> ReduceContext<R> {
@@ -126,6 +132,7 @@ impl<R> ReduceContext<R> {
         Self {
             outputs: Vec::new(),
             cpu_ops: 0.0,
+            strategy: None,
         }
     }
 

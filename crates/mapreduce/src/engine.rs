@@ -24,22 +24,33 @@
 //!    combine through the flat-array table (the `dense` module) instead of
 //!    a hash map. Both specializations produce bit-identical output to the
 //!    comparison/hash paths they replace.
-//! 2. **The shuffle is a k-way merge per partition.** Each partition merges
-//!    its `m` sorted runs through an `m`-entry binary heap — `O(n log m)`
-//!    comparisons on `(key, split)` only. The partition component never
-//!    enters a comparison (each merge *is* one partition), and keys are
-//!    moved, never cloned.
+//! 2. **The reduce side picks an explicit strategy per job** — recorded
+//!    per partition in [`RunMetrics::reduce_strategies`]:
+//!
+//!    | [`ReduceStrategy`] | when | what a partition does |
+//!    |---|---|---|
+//!    | `DenseReduce` | radix codec + [`EngineConfig::key_domain_hint`] small enough for a flat array | aggregates its unsorted runs straight into a recycled slot array sized to the partition's actual key range (`dense::DenseReducer`) — no sort, no merge |
+//!    | `SortAtReduce` | radix codec, several partitions, domain too wide (or absent) | radix-sorts its split-ordered run concatenation once, stably, then groups adjacent keys |
+//!    | `Merge` | no codec, or a single partition without a dense domain | k-way merges runs pre-sorted inside the map workers (`m`-entry heap, `O(n log m)` comparisons on `(key, split)` only) |
+//!
+//!    For the non-`Merge` strategies the map workers skip the per-run
+//!    sort entirely and ship runs in arrival order. Every strategy
+//!    delivers the identical sequence to the reduce function, so outputs
+//!    are bit-identical across strategies (differential tests enforce it).
 //! 3. **Reduce partitions run in parallel with deterministic stitching.**
 //!    Every partition gets its own [`ReduceContext`]; outputs and charged
 //!    CPU are recombined in partition-index order, so the result — outputs,
 //!    metrics, and float summation order — is identical for any
 //!    `reducer_parallelism`, including 1.
 //!
-//! Map workers recycle their buffers across tasks — the emit buffer, the
-//! radix-sort scratch, and the dense combine table live per worker, not
-//! per task — and tiny jobs skip thread machinery entirely: the map loop
-//! runs inline when only one worker would be spawned, and the reduce
-//! phase stays serial below a pair-count spawn threshold.
+//! Workers recycle their buffers across work items on both sides: map
+//! workers keep the emit buffer, the radix-sort scratch, and the dense
+//! combine table per worker, not per task, and reduce workers keep a
+//! radix scratch plus a `DenseReducer` table per thread, recycled across
+//! the partitions that thread reduces. Tiny jobs skip thread machinery
+//! entirely: the map loop runs inline when only one worker would be
+//! spawned, and the reduce phase stays serial below a pair-count spawn
+//! threshold.
 //!
 //! The determinism contract of the seed engine is preserved exactly: within
 //! a partition, the reduce function observes key groups in key order and
@@ -59,16 +70,16 @@ use parking_lot::Mutex;
 
 use crate::context::{MapContext, ReduceContext};
 use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
-use crate::dense::DenseTable;
+use crate::dense::{DenseReducer, DenseTable};
 use crate::job::{CombineFn, JobOutput, JobSpec, MapTask};
-use crate::metrics::RunMetrics;
+use crate::metrics::{ReduceStrategy, RunMetrics};
 use crate::radix::{sort_pairs_with, RadixScratch};
 use crate::wire::WireSize;
 use wh_wavelet::hash::FxHasher;
 
 /// Borrowed form of the shared reduce function, passed into the merge
 /// machinery.
-type ReduceDyn<K, V, R> = dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync;
+pub(crate) type ReduceDyn<K, V, R> = dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send + Sync;
 
 /// Borrowed form of the shared Combine function.
 type CombineDyn<K, V> = dyn Fn(&K, &mut Vec<V>) + Send + Sync;
@@ -93,6 +104,10 @@ pub struct EngineConfig {
     pub mode: EngineMode,
     /// Number of reduce partitions (the paper always uses 1).
     pub num_reducers: u32,
+    /// Map-side worker threads; `0` means one per available core, capped
+    /// at the task count. Both engines honor it, so a benchmark can pin
+    /// identical thread budgets on both sides of a comparison.
+    pub map_parallelism: usize,
     /// Reduce-side worker threads; `0` means one per available core,
     /// capped at the partition count.
     pub reducer_parallelism: usize,
@@ -120,6 +135,7 @@ impl Default for EngineConfig {
         Self {
             mode: EngineMode::Pipelined,
             num_reducers: 1,
+            map_parallelism: 0,
             reducer_parallelism: 0,
             streaming_combine: false,
             spill_chunk: 0,
@@ -149,6 +165,12 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the map-side thread count (`0` = one per available core).
+    pub fn with_map_parallelism(mut self, threads: usize) -> Self {
+        self.map_parallelism = threads;
+        self
+    }
+
     /// Sets the reduce-side thread count (`0` = one per available core).
     pub fn with_reducer_parallelism(mut self, threads: usize) -> Self {
         self.reducer_parallelism = threads;
@@ -173,6 +195,18 @@ impl EngineConfig {
         self.key_domain_hint = Some(domain);
         self
     }
+
+    /// Resolves [`EngineConfig::map_parallelism`] into the map worker
+    /// count for `task_count` tasks. **Both** engines must call this —
+    /// engine-vs-engine benchmarks rely on the two resolving an
+    /// identical thread budget from the same knob.
+    pub(crate) fn map_workers(&self, task_count: usize) -> usize {
+        match self.map_parallelism {
+            0 => std::thread::available_parallelism().map_or(4, |p| p.get()),
+            n => n,
+        }
+        .min(task_count.max(1))
+    }
 }
 
 /// The default partitioner: a deterministic Fx hash of the key. With one
@@ -184,10 +218,12 @@ pub fn default_partition<K: Hash>(key: &K) -> u64 {
     h.finish()
 }
 
-/// Domains above this cap fall back from the dense combine table to the
-/// sort-based path: a `u32` slot per domain value must stay small enough
-/// (≤ 16 MiB per map worker here) that the table is an optimization, not
-/// a memory liability.
+/// Domains above this cap fall back from the dense tables (the map-side
+/// combine table and the reduce-side `DenseReducer`) to the sort-based
+/// paths: a `u32` slot per domain value must stay small enough (≤ 16 MiB
+/// per worker here) that a flat array is an optimization, not a memory
+/// liability. The reduce table additionally sizes itself to each
+/// partition's actual key range, so this bounds the worst case only.
 const DENSE_DOMAIN_MAX: u64 = 1 << 22;
 
 /// Jobs whose map output is at most this many pairs reduce serially: the
@@ -360,21 +396,31 @@ where
     } = spec;
     assert!(engine.num_reducers >= 1, "need at least one reducer");
     let nparts = engine.num_reducers as usize;
-    // The dense table only earns its keep when there is a combiner to
-    // run through it, a codec to index it with, and a domain small
-    // enough to sit in a flat array.
+    // The map-side dense combine table only earns its keep when there is
+    // a combiner to run through it, a codec to index it with, and a
+    // domain small enough to sit in a flat array.
     let dense_domain: Option<usize> = match (key_codec, engine.key_domain_hint, &combiner) {
         (Some(_), Some(u), Some(_)) if u <= DENSE_DOMAIN_MAX => Some(u as usize),
         _ => None,
     };
-    // Radix jobs with several partitions skip the map-side run sort and
-    // the reduce-side merge entirely: each reduce partition radix-sorts
-    // its concatenated runs once (stable, runs in split-id order), which
-    // is the exact merge sequence at strictly less data movement. With a
-    // single partition the map-side sort stays — it is what parallelizes
-    // the sort work across map workers when everything reduces in one
-    // place.
-    let reduce_sort: Option<fn(&K) -> u64> = if nparts > 1 { key_codec } else { None };
+    // Reduce-strategy selection, fixed per job because it also decides
+    // what the map workers ship:
+    //
+    // * `DenseReduce` (codec + bounded domain): partitions aggregate
+    //   their unsorted runs straight into a flat slot array — nobody
+    //   sorts anything, on either side.
+    // * `SortAtReduce` (codec, several partitions, domain too wide):
+    //   each partition radix-sorts its concatenated runs once (stable,
+    //   runs in split-id order), which is the exact merge sequence at
+    //   strictly less data movement than sorted spills + merge.
+    // * `Merge` otherwise: map workers pre-sort their runs (that is what
+    //   parallelizes the sort work when everything reduces in one place
+    //   or keys carry no codec) and partitions k-way merge them.
+    let strategy = match (key_codec, engine.key_domain_hint) {
+        (Some(_), Some(u)) if u <= DENSE_DOMAIN_MAX => ReduceStrategy::DenseReduce,
+        (Some(_), _) if nparts > 1 => ReduceStrategy::SortAtReduce,
+        _ => ReduceStrategy::Merge,
+    };
 
     // ---- Map phase (parallel): run, combine, partition, sort — all
     // inside the worker thread that owns the task. ----
@@ -383,9 +429,7 @@ where
         map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
     let spills: Mutex<Vec<TaskSpill<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(task_queue.len().max(1));
+    let workers = engine.map_workers(task_queue.len());
 
     let run_tasks = |state: &mut MapWorker<K, V>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -426,10 +470,10 @@ where
         }
         let (mut runs, scattered): (Vec<Vec<(K, V)>>, bool) = if nparts == 1 {
             (vec![std::mem::take(&mut pairs)], true)
-        } else if reduce_sort.is_some() && pairs.len() < SCATTER_MIN_PAIRS {
-            // Tiny task in sort-at-reduce mode: ship the pairs flat and
-            // let the shuffle scatter them — R per-task partition
-            // buffers would cost more than the pairs they hold.
+        } else if strategy != ReduceStrategy::Merge && pairs.len() < SCATTER_MIN_PAIRS {
+            // Tiny task in a no-merge mode: ship the pairs flat and let
+            // the shuffle scatter them — R per-task partition buffers
+            // would cost more than the pairs they hold.
             (vec![std::mem::take(&mut pairs)], false)
         } else {
             // Reserve the expected per-partition share up front so the
@@ -446,7 +490,9 @@ where
         // The (now empty) emit buffer keeps its allocation for the next
         // task this worker picks up.
         state.pairs_buf = pairs;
-        if reduce_sort.is_none() {
+        if strategy == ReduceStrategy::Merge {
+            // Only the merge strategy consumes pre-sorted runs; the dense
+            // and sort-at-reduce partitions take them in arrival order.
             for run in &mut runs {
                 // Stable by key: arrival order within a key survives. The
                 // radix sort produces the identical permutation when the
@@ -504,7 +550,8 @@ where
     // consolidated tail run per partition. Tasks arrive in split-id
     // order, and a tail is flushed ahead of any scattered run that
     // follows it, so every partition's runs stay in (split id, arrival)
-    // order — which is all the sort-at-reduce path needs.
+    // order — which is all the dense-reduce and sort-at-reduce paths
+    // need.
     let mut tails: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::new()).collect();
     for t in per_task {
         task_work.push(t.work);
@@ -553,12 +600,20 @@ where
     .min(nparts)
     .max(1);
 
+    // What a partition needs to execute the selected strategy: the codec
+    // (dense + sort-at-reduce) and the declared domain (dense asserts
+    // against it).
+    let plan = ReducePlan {
+        strategy,
+        codec: key_codec,
+        domain_hint: engine.key_domain_hint,
+    };
     let contexts: Vec<ReduceContext<R>> = if threads <= 1 {
-        let mut scratch = RadixScratch::default();
+        let mut scratch = ReduceScratch::new();
         let mut out = Vec::with_capacity(nparts);
         for runs in partitions {
             let mut rctx = ReduceContext::new();
-            reduce_partition(runs, reduce_sort, &mut scratch, reduce.as_ref(), &mut rctx);
+            reduce_partition(runs, plan, &mut scratch, reduce.as_ref(), &mut rctx);
             out.push(rctx);
         }
         out
@@ -572,7 +627,10 @@ where
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let mut scratch = RadixScratch::default();
+                    // Per-thread scratch (radix buffers + dense table),
+                    // recycled across the partitions this thread reduces —
+                    // the reduce-side mirror of the map workers' reuse.
+                    let mut scratch = ReduceScratch::new();
                     loop {
                         let p = next_part.fetch_add(1, Ordering::Relaxed);
                         if p >= slots.len() {
@@ -580,13 +638,7 @@ where
                         }
                         let runs = slots[p].lock().0.take().expect("each partition taken once");
                         let mut rctx = ReduceContext::new();
-                        reduce_partition(
-                            runs,
-                            reduce_sort,
-                            &mut scratch,
-                            reduce.as_ref(),
-                            &mut rctx,
-                        );
+                        reduce_partition(runs, plan, &mut scratch, reduce.as_ref(), &mut rctx);
                         slots[p].lock().1 = Some(rctx);
                     }
                 });
@@ -600,10 +652,13 @@ where
 
     // Deterministic stitching: outputs and charged CPU recombine in
     // partition order, so float summation order is independent of the
-    // thread count.
+    // thread count. The per-partition strategy lands in the metrics here.
     let mut outputs = Vec::new();
     let mut reduce_cpu = 0.0f64;
     for mut rctx in contexts {
+        if let Some(s) = rctx.strategy {
+            metrics.reduce_strategies.record(s);
+        }
         reduce_cpu += rctx.cpu_ops;
         outputs.append(&mut rctx.outputs);
     }
@@ -647,46 +702,97 @@ where
     })
 }
 
-/// Reduces one partition and invokes `reduce` per key group, values in
-/// `(split id, arrival order)` order.
+/// Everything a reduce worker needs to execute the job's strategy on one
+/// partition. One per job; `Copy` so worker threads capture it by value.
+struct ReducePlan<K> {
+    strategy: ReduceStrategy,
+    codec: Option<fn(&K) -> u64>,
+    domain_hint: Option<u64>,
+}
+
+impl<K> Clone for ReducePlan<K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K> Copy for ReducePlan<K> {}
+
+/// Per-reduce-worker scratch, recycled across every partition that
+/// worker reduces: the radix-sort buffers (sort-at-reduce) and the dense
+/// flat-array table (dense reduce) — the reduce-side mirror of the map
+/// workers' per-thread buffer reuse.
+struct ReduceScratch<K, V> {
+    radix: RadixScratch,
+    dense: DenseReducer<K, V>,
+}
+
+impl<K, V> ReduceScratch<K, V> {
+    fn new() -> Self {
+        Self {
+            radix: RadixScratch::default(),
+            dense: DenseReducer::new(),
+        }
+    }
+}
+
+/// Reduces one partition under the job's [`ReduceStrategy`] and invokes
+/// `reduce` per key group — key groups in key order, values in
+/// `(split id, arrival order)` order, identically for every strategy:
 ///
-/// With `sort_by: None` the runs arrive pre-sorted from the map workers
-/// and are k-way merged. With `sort_by: Some(codec)` the runs arrive
-/// **unsorted** and the partition radix-sorts its split-ordered
-/// concatenation once: the sort is stable, so equal keys keep
-/// `(split id, arrival order)` — the exact merge sequence, with no merge.
+/// * `DenseReduce`: runs arrive **unsorted** and aggregate into the
+///   recycled flat table, which emits groups in ascending radix (= key)
+///   order.
+/// * `SortAtReduce`: runs arrive **unsorted**; the partition radix-sorts
+///   its split-ordered concatenation once. The sort is stable, so equal
+///   keys keep `(split id, arrival order)` — the exact merge sequence,
+///   with no merge.
+/// * `Merge`: runs arrive pre-sorted from the map workers and are k-way
+///   merged.
+///
+/// The strategy that ran is recorded on the context, which the stitching
+/// loop folds into [`RunMetrics::reduce_strategies`].
 fn reduce_partition<K, V, R>(
     runs: Vec<Vec<(K, V)>>,
-    sort_by: Option<fn(&K) -> u64>,
-    scratch: &mut RadixScratch,
+    plan: ReducePlan<K>,
+    scratch: &mut ReduceScratch<K, V>,
     reduce: &ReduceDyn<K, V, R>,
     rctx: &mut ReduceContext<R>,
 ) where
     K: Ord,
 {
-    if let Some(codec) = sort_by {
-        let total: usize = runs.iter().map(Vec::len).sum();
-        let mut all = match runs.len() {
-            1 => runs.into_iter().next().expect("one run"),
-            _ => {
-                let mut all = Vec::with_capacity(total);
-                for run in runs {
-                    all.extend(run);
-                }
-                all
-            }
-        };
-        sort_pairs_with(&mut all, codec, scratch);
-        reduce_sorted_run(all, reduce, rctx);
-        return;
-    }
-    match runs.len() {
-        0 => {}
-        1 => {
-            let run = runs.into_iter().next().expect("one run");
-            reduce_sorted_run(run, reduce, rctx);
+    rctx.strategy = Some(plan.strategy);
+    match plan.strategy {
+        ReduceStrategy::DenseReduce => {
+            let codec = plan.codec.expect("dense reduce requires a key codec");
+            let hint = plan
+                .domain_hint
+                .expect("dense reduce requires a key_domain_hint");
+            scratch.dense.reduce_runs(runs, codec, hint, reduce, rctx);
         }
-        _ => merge_runs(runs, reduce, rctx),
+        ReduceStrategy::SortAtReduce => {
+            let codec = plan.codec.expect("sort-at-reduce requires a key codec");
+            let total: usize = runs.iter().map(Vec::len).sum();
+            let mut all = match runs.len() {
+                1 => runs.into_iter().next().expect("one run"),
+                _ => {
+                    let mut all = Vec::with_capacity(total);
+                    for run in runs {
+                        all.extend(run);
+                    }
+                    all
+                }
+            };
+            sort_pairs_with(&mut all, codec, &mut scratch.radix);
+            reduce_sorted_run(all, reduce, rctx);
+        }
+        ReduceStrategy::Merge => match runs.len() {
+            0 => {}
+            1 => {
+                let run = runs.into_iter().next().expect("one run");
+                reduce_sorted_run(run, reduce, rctx);
+            }
+            _ => merge_runs(runs, reduce, rctx),
+        },
     }
 }
 
@@ -886,19 +992,25 @@ mod tests {
 
     fn collect_groups_via(
         runs: Vec<Vec<(u32, u32)>>,
-        sort_by: Option<fn(&u32) -> u64>,
+        strategy: ReduceStrategy,
     ) -> Vec<(u32, Vec<u32>)> {
         let mut rctx = ReduceContext::new();
-        let mut scratch = RadixScratch::default();
+        let mut scratch = ReduceScratch::new();
         let reduce = |k: &u32, vs: &[u32], ctx: &mut ReduceContext<(u32, Vec<u32>)>| {
             ctx.emit((*k, vs.to_vec()));
         };
-        reduce_partition(runs, sort_by, &mut scratch, &reduce, &mut rctx);
+        let plan = ReducePlan {
+            strategy,
+            codec: Some(|k: &u32| u64::from(*k)),
+            domain_hint: Some(1 << 20),
+        };
+        reduce_partition(runs, plan, &mut scratch, &reduce, &mut rctx);
+        assert_eq!(rctx.strategy, Some(strategy), "strategy recorded");
         rctx.outputs
     }
 
     fn collect_groups(runs: Vec<Vec<(u32, u32)>>) -> Vec<(u32, Vec<u32>)> {
-        collect_groups_via(runs, None)
+        collect_groups_via(runs, ReduceStrategy::Merge)
     }
 
     #[test]
@@ -952,21 +1064,60 @@ mod tests {
                 }
             }
             assert_eq!(collect_groups(mk_runs(m)), expected, "m={m}");
-            // The sort-at-reduce route (unsorted runs + one stable radix
-            // sort of the concatenation) must yield the same sequence.
-            let unsorted: Vec<Vec<(u32, u32)>> = mk_runs(m)
-                .into_iter()
-                .map(|mut run| {
-                    // Undo the per-run sort: arrival order is value order.
-                    run.sort_by_key(|&(_, v)| v);
-                    run
-                })
-                .collect();
+            // The no-merge routes take **unsorted** runs and must yield
+            // the same sequence: sort-at-reduce via one stable radix sort
+            // of the concatenation, dense reduce via flat-array
+            // aggregation in radix order.
+            let unsorted = || -> Vec<Vec<(u32, u32)>> {
+                mk_runs(m)
+                    .into_iter()
+                    .map(|mut run| {
+                        // Undo the per-run sort: arrival order is value order.
+                        run.sort_by_key(|&(_, v)| v);
+                        run
+                    })
+                    .collect()
+            };
             assert_eq!(
-                collect_groups_via(unsorted, Some(|k: &u32| u64::from(*k))),
+                collect_groups_via(unsorted(), ReduceStrategy::SortAtReduce),
                 expected,
                 "m={m} (sort-at-reduce)"
             );
+            assert_eq!(
+                collect_groups_via(unsorted(), ReduceStrategy::DenseReduce),
+                expected,
+                "m={m} (dense reduce)"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scratch_recycles_across_partitions_and_strategies() {
+        // One scratch driven through every strategy in sequence, the way
+        // a reduce worker thread recycles it across partitions.
+        let mut scratch = ReduceScratch::new();
+        let reduce = |k: &u32, vs: &[u32], ctx: &mut ReduceContext<(u32, Vec<u32>)>| {
+            ctx.emit((*k, vs.to_vec()));
+        };
+        let sorted_runs = || vec![vec![(1u32, 1u32), (3, 2)], vec![(1, 3), (7, 4)]];
+        let unsorted_runs = || vec![vec![(3u32, 2u32), (1, 1)], vec![(7, 4), (1, 3)]];
+        let want = vec![(1, vec![1, 3]), (3, vec![2]), (7, vec![4])];
+        for round in 0..3 {
+            for (strategy, runs) in [
+                (ReduceStrategy::DenseReduce, unsorted_runs()),
+                (ReduceStrategy::SortAtReduce, unsorted_runs()),
+                (ReduceStrategy::Merge, sorted_runs()),
+            ] {
+                let mut rctx = ReduceContext::new();
+                let plan = ReducePlan {
+                    strategy,
+                    codec: Some(|k: &u32| u64::from(*k)),
+                    domain_hint: Some(64),
+                };
+                reduce_partition(runs, plan, &mut scratch, &reduce, &mut rctx);
+                assert_eq!(rctx.outputs, want, "round {round}, {strategy:?}");
+                assert_eq!(rctx.strategy, Some(strategy));
+            }
         }
     }
 

@@ -8,12 +8,14 @@
 //! ([`crate::reference`]) — and returns the reducer outputs together with
 //! exact [`RunMetrics`].
 //!
-//! Determinism: mappers may run in any thread interleaving and reduce
-//! partitions may run on any number of threads, but within a partition the
-//! reduce function always observes key groups in key order with each
-//! group's values in `(split id, arrival order)` order, and outputs are
-//! stitched in partition order — so results are bit-identical across runs,
-//! engines, and thread counts.
+//! Determinism: mappers may run in any thread interleaving, reduce
+//! partitions may run on any number of threads, and the engine may pick
+//! any reduce-side strategy (dense reduce / sort-at-reduce / merge — see
+//! [`crate::ReduceStrategy`]), but within a partition the reduce function
+//! always observes key groups in key order with each group's values in
+//! `(split id, arrival order)` order, and outputs are stitched in
+//! partition order — so results are bit-identical across runs, engines,
+//! strategies, and thread counts.
 
 use std::sync::Arc;
 
@@ -170,6 +172,15 @@ where
     /// Sets the number of reduce partitions (shorthand for the engine knob).
     pub fn with_reducers(mut self, n: u32) -> Self {
         self.engine = self.engine.with_reducers(n);
+        self
+    }
+
+    /// Declares the exclusive key-domain bound (shorthand for the engine
+    /// knob — see [`EngineConfig::key_domain_hint`]). Together with
+    /// [`JobSpec::with_radix_keys`] this routes combining through the
+    /// dense flat-array table and selects the dense-reduce strategy.
+    pub fn with_key_domain(mut self, domain: u64) -> Self {
+        self.engine = self.engine.with_key_domain(domain);
         self
     }
 
@@ -424,6 +435,56 @@ mod tests {
             assert_eq!(pipelined.outputs, reference.outputs, "reducers={reducers}");
             assert_eq!(pipelined.metrics, reference.metrics, "reducers={reducers}");
         }
+    }
+
+    #[test]
+    fn reduce_strategy_selection_is_recorded_per_partition() {
+        let cluster = ClusterConfig::single_machine();
+        let mk = |radix: bool, hint: Option<u64>, reducers: u32| {
+            let tasks = wordcount_tasks((0..12).map(|j| vec![j % 7, j % 5, 3]).collect());
+            let mut spec = JobSpec::new("strategy", tasks, count_reduce()).with_reducers(reducers);
+            if radix {
+                spec = spec.with_radix_keys();
+            }
+            if let Some(u) = hint {
+                spec = spec.with_key_domain(u);
+            }
+            run_job(&cluster, spec)
+        };
+        // Codec + bounded domain → dense reduce on every partition,
+        // including a single one.
+        let dense = mk(true, Some(8), 4);
+        assert_eq!(dense.metrics.reduce_strategies.dense_reduce, 4);
+        assert_eq!(dense.metrics.reduce_strategies.total(), 4);
+        assert_eq!(
+            mk(true, Some(8), 1).metrics.reduce_strategies.dense_reduce,
+            1
+        );
+        // Codec without a usable domain, several partitions → one radix
+        // sort per partition; a domain too wide for a flat array falls
+        // back the same way.
+        assert_eq!(
+            mk(true, None, 3).metrics.reduce_strategies.sort_at_reduce,
+            3
+        );
+        let wide = mk(true, Some(1 << 30), 2);
+        assert_eq!(wide.metrics.reduce_strategies.sort_at_reduce, 2);
+        // Single partition without a dense domain, or no codec at all →
+        // pre-sorted spills + merge.
+        assert_eq!(mk(true, None, 1).metrics.reduce_strategies.merge, 1);
+        assert_eq!(mk(false, None, 2).metrics.reduce_strategies.merge, 2);
+        // Strategies are an execution detail: same outputs and equal
+        // metrics (under ==) as the sort-at-reduce run.
+        let sorted = mk(true, None, 4);
+        assert_eq!(dense.outputs, sorted.outputs);
+        assert_eq!(dense.metrics, sorted.metrics);
+        // The reference engine records nothing.
+        let tasks = wordcount_tasks(vec![vec![1, 2], vec![2]]);
+        let reference = run_job(
+            &cluster,
+            JobSpec::new("ref", tasks, count_reduce()).with_engine(EngineConfig::reference()),
+        );
+        assert_eq!(reference.metrics.reduce_strategies.total(), 0);
     }
 
     #[test]

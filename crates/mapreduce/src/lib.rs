@@ -51,6 +51,15 @@
 //! recycled flat-array table instead of a hash map. Map workers reuse
 //! their buffers across tasks, and tiny jobs skip thread spawns on both
 //! the map and reduce sides.
+//!
+//! Since PR 4 the bounded-domain specialization reaches the reduce side
+//! too: the engine selects an explicit per-job [`ReduceStrategy`] — dense
+//! flat-array aggregation when a radix codec and a bounded domain are
+//! declared, one stable radix sort per partition when only the codec is,
+//! and the k-way merge of pre-sorted spills otherwise — recording the
+//! choice per partition in [`RunMetrics::reduce_strategies`]. Reduce
+//! workers recycle their scratch (radix buffers + dense table) across
+//! partitions exactly like map workers recycle theirs across tasks.
 
 pub mod context;
 pub mod cost;
@@ -67,7 +76,7 @@ pub use context::{MapContext, ReduceContext};
 pub use cost::{ClusterConfig, MachineSpec};
 pub use engine::{EngineConfig, EngineMode};
 pub use job::{run_job, JobOutput, JobSpec, MapTask};
-pub use metrics::RunMetrics;
+pub use metrics::{ReduceStrategy, ReduceStrategyCounts, RunMetrics};
 pub use radix::RadixKey;
 pub use reference::run_job_reference;
 pub use state::StateStore;

@@ -2,6 +2,81 @@
 
 use std::fmt;
 
+/// Which reduce-side execution strategy the pipelined engine ran for one
+/// reduce partition. Purely an execution detail: every strategy delivers
+/// the identical key-group sequence to the reduce function — key groups in
+/// key order, values in `(split id, arrival order)` order — so outputs are
+/// bit-identical across strategies (differential tests enforce it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceStrategy {
+    /// Flat slot-array aggregation over a bounded key domain: pairs
+    /// scatter into a recycled table sized to the partition's actual key
+    /// range, groups are emitted in ascending radix (= key) order — no
+    /// sort, no merge. Selected when the job declares radix keys and an
+    /// [`crate::EngineConfig::key_domain_hint`] small enough for a flat
+    /// array.
+    DenseReduce,
+    /// One stable radix sort of the partition's split-ordered run
+    /// concatenation (runs arrive unsorted from the map workers), then a
+    /// linear grouping pass. Selected for radix jobs with several
+    /// partitions whose domain is too wide for the dense table.
+    SortAtReduce,
+    /// K-way merge of per-task runs pre-sorted inside the map workers —
+    /// the generic `Ord` path, and the only strategy available without a
+    /// radix codec.
+    Merge,
+}
+
+/// How many reduce partitions of a run executed under each
+/// [`ReduceStrategy`]. Lives in [`RunMetrics`] as observability for the
+/// engine's strategy selection; like the `wall_*` fields it is **excluded
+/// from `PartialEq`** — two runs that differ only in execution strategy
+/// still compare equal, which is exactly the determinism contract the
+/// differential tests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStrategyCounts {
+    /// Partitions that aggregated through the dense flat-array table.
+    pub dense_reduce: u32,
+    /// Partitions that radix-sorted their concatenated runs once.
+    pub sort_at_reduce: u32,
+    /// Partitions that k-way merged pre-sorted runs.
+    pub merge: u32,
+}
+
+impl ReduceStrategyCounts {
+    /// Records one partition reduced under `strategy`.
+    pub(crate) fn record(&mut self, strategy: ReduceStrategy) {
+        match strategy {
+            ReduceStrategy::DenseReduce => self.dense_reduce += 1,
+            ReduceStrategy::SortAtReduce => self.sort_at_reduce += 1,
+            ReduceStrategy::Merge => self.merge += 1,
+        }
+    }
+
+    /// Total partitions recorded (equals the reducer count for a
+    /// pipelined round; the reference engine records nothing).
+    pub fn total(&self) -> u32 {
+        self.dense_reduce + self.sort_at_reduce + self.merge
+    }
+
+    /// Accumulates another round's counts.
+    fn absorb(&mut self, other: &ReduceStrategyCounts) {
+        self.dense_reduce += other.dense_reduce;
+        self.sort_at_reduce += other.sort_at_reduce;
+        self.merge += other.merge;
+    }
+}
+
+impl fmt::Display for ReduceStrategyCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dense:{}/sort:{}/merge:{}",
+            self.dense_reduce, self.sort_at_reduce, self.merge
+        )
+    }
+}
+
 /// Accumulated measurements of one job or one complete algorithm run
 /// (possibly multiple MapReduce rounds).
 ///
@@ -14,9 +89,16 @@ use std::fmt;
 ///   `wall_reduce_s`) — measured with [`std::time::Instant`] and therefore
 ///   machine- and load-dependent. These are what `wh-bench` regresses on.
 ///
-/// `PartialEq` intentionally compares **only the logical fields**, so the
-/// determinism contract (`a == b` for identical runs) keeps holding even
-/// though wall-clock never repeats exactly.
+/// A third, in-between family is the [`ReduceStrategyCounts`]: which
+/// reduce-side strategy each partition ran under. Deterministic for a
+/// fixed configuration, but an execution detail that legitimately differs
+/// between configurations producing identical results.
+///
+/// `PartialEq` intentionally compares **only the logical fields** —
+/// wall-clock and strategy counts are excluded — so the determinism
+/// contract (`a == b` for identical runs, across engines, strategies, and
+/// thread counts) keeps holding even though wall-clock never repeats
+/// exactly and strategies differ by design.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunMetrics {
     /// Number of MapReduce rounds executed.
@@ -46,6 +128,11 @@ pub struct RunMetrics {
     /// Real elapsed seconds of the reduce phase (k-way merges, reduce
     /// calls, the Close hook, and output stitching).
     pub wall_reduce_s: f64,
+    /// Per-strategy count of reduce partitions in this run (pipelined
+    /// engine only; the reference engine records nothing). Excluded from
+    /// `PartialEq` like the wall-clock fields: strategy selection is an
+    /// execution detail that must never affect result comparison.
+    pub reduce_strategies: ReduceStrategyCounts,
 }
 
 impl RunMetrics {
@@ -72,6 +159,7 @@ impl RunMetrics {
         self.wall_map_s += other.wall_map_s;
         self.wall_shuffle_s += other.wall_shuffle_s;
         self.wall_reduce_s += other.wall_reduce_s;
+        self.reduce_strategies.absorb(&other.reduce_strategies);
     }
 }
 
@@ -106,6 +194,9 @@ impl fmt::Display for RunMetrics {
         )?;
         if self.wall_time_s() > 0.0 {
             write!(f, " wall={:.3}s", self.wall_time_s())?;
+        }
+        if self.reduce_strategies.total() > 0 {
+            write!(f, " strategies={}", self.reduce_strategies)?;
         }
         Ok(())
     }
@@ -145,6 +236,11 @@ mod tests {
             wall_map_s: 0.25,
             wall_shuffle_s: 0.5,
             wall_reduce_s: 0.25,
+            reduce_strategies: ReduceStrategyCounts {
+                dense_reduce: 3,
+                sort_at_reduce: 1,
+                merge: 0,
+            },
         };
         let b = a;
         a.absorb(&b);
@@ -153,6 +249,54 @@ mod tests {
         assert_eq!(a.total_comm_bytes(), 220);
         assert_eq!(a.sim_time_s, 4.0);
         assert!((a.wall_time_s() - 2.0).abs() < 1e-12);
+        assert_eq!(a.reduce_strategies.dense_reduce, 6);
+        assert_eq!(a.reduce_strategies.sort_at_reduce, 2);
+        assert_eq!(a.reduce_strategies.total(), 8);
+    }
+
+    #[test]
+    fn equality_ignores_reduce_strategies() {
+        // The same logical run executed under different reduce strategies
+        // must still compare equal — strategy selection is an execution
+        // detail, exactly like wall-clock.
+        let mut dense = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            ..Default::default()
+        };
+        dense.reduce_strategies.record(ReduceStrategy::DenseReduce);
+        let mut sorted = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            ..Default::default()
+        };
+        sorted
+            .reduce_strategies
+            .record(ReduceStrategy::SortAtReduce);
+        sorted.reduce_strategies.record(ReduceStrategy::Merge);
+        assert_ne!(dense.reduce_strategies, sorted.reduce_strategies);
+        assert_eq!(dense, sorted, "strategy counts must not break equality");
+    }
+
+    #[test]
+    fn strategy_counts_record_and_render() {
+        let mut c = ReduceStrategyCounts::default();
+        assert_eq!(c.total(), 0);
+        c.record(ReduceStrategy::DenseReduce);
+        c.record(ReduceStrategy::DenseReduce);
+        c.record(ReduceStrategy::SortAtReduce);
+        c.record(ReduceStrategy::Merge);
+        assert_eq!(c.dense_reduce, 2);
+        assert_eq!(c.sort_at_reduce, 1);
+        assert_eq!(c.merge, 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.to_string(), "dense:2/sort:1/merge:1");
+        let m = RunMetrics {
+            rounds: 1,
+            reduce_strategies: c,
+            ..Default::default()
+        };
+        assert!(m.to_string().contains("strategies=dense:2/sort:1/merge:1"));
     }
 
     #[test]

@@ -61,9 +61,11 @@ where
         map_tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<TaskResult<K, V>>> = Mutex::new(Vec::with_capacity(task_queue.len()));
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |p| p.get())
-        .min(task_queue.len().max(1));
+    // Honors the map-parallelism knob (same resolution as the pipelined
+    // engine) so engine-vs-engine benchmarks pin identical thread budgets
+    // on both sides; the shuffle and reduce stay single-threaded by
+    // definition of this engine.
+    let workers = engine.map_workers(task_queue.len());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {

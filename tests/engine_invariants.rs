@@ -44,6 +44,40 @@ fn splits_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
     prop::collection::vec(prop::collection::vec(0u64..50, 0..80), 1..12)
 }
 
+/// [`count_job`] with radix keys and (optionally) the bounded-domain
+/// hint — the knobs that pick the engine's reduce strategy.
+fn strategy_count_job(
+    splits: Vec<Vec<u64>>,
+    reducers: u32,
+    hinted: bool,
+) -> (Outputs, wavelet_hist::mapreduce::RunMetrics) {
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .into_iter()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                for k in &keys {
+                    ctx.emit(WKey::four(*k), 1);
+                }
+            })
+        })
+        .collect();
+    let mut spec = JobSpec::new(
+        "strategy-acct",
+        tasks,
+        |k: &WKey, vs: &[u64], ctx: &mut wavelet_hist::mapreduce::ReduceContext<(u64, u64)>| {
+            ctx.emit((k.id, vs.iter().sum()));
+        },
+    )
+    .with_radix_keys()
+    .with_reducers(reducers);
+    if hinted {
+        spec = spec.with_key_domain(64);
+    }
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -76,6 +110,31 @@ proptest! {
         let (b, mb) = count_job(splits, true);
         prop_assert_eq!(a, b);
         prop_assert_eq!(ma, mb);
+    }
+
+    /// Accounting invariant of the PR 4 strategy records: the pipelined
+    /// engine records exactly one strategy per partition, the expected
+    /// one, and `RunMetrics` equality deliberately ignores the counts —
+    /// the same job under different strategies still compares equal.
+    #[test]
+    fn strategy_counts_cover_every_partition(
+        splits in splits_strategy(),
+        reducers in 1u32..9,
+    ) {
+        let (dense_out, dense_m) = strategy_count_job(splits.clone(), reducers, true);
+        let (sorted_out, sorted_m) = strategy_count_job(splits, reducers, false);
+        prop_assert_eq!(dense_m.reduce_strategies.dense_reduce, reducers);
+        prop_assert_eq!(dense_m.reduce_strategies.total(), reducers);
+        prop_assert_eq!(sorted_m.reduce_strategies.total(), reducers);
+        if reducers > 1 {
+            prop_assert_eq!(sorted_m.reduce_strategies.sort_at_reduce, reducers);
+        } else {
+            prop_assert_eq!(sorted_m.reduce_strategies.merge, 1);
+        }
+        prop_assert_eq!(dense_out, sorted_out);
+        // `==` compares logical fields only: strategy selection must
+        // never break the determinism contract.
+        prop_assert_eq!(dense_m, sorted_m);
     }
 
     #[test]

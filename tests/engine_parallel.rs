@@ -1,7 +1,8 @@
 //! Property and differential tests of the pipelined execution engine:
 //! multi-reducer equivalence for every builder, streaming-combiner
-//! byte-identity, determinism across thread counts, and pipelined-vs-seed
-//! engine equivalence on randomized jobs.
+//! byte-identity, determinism across thread counts and reduce strategies
+//! (dense reduce / sort-at-reduce / merge), and pipelined-vs-seed engine
+//! equivalence on randomized jobs.
 
 use proptest::prelude::*;
 use wavelet_hist::builders::{
@@ -182,6 +183,32 @@ fn streaming_combiner_byte_identical_to_batch() {
     assert_eq!(base_metrics, metrics, "R=4 streaming: metrics");
 }
 
+/// Every builder declares a tight bounded key domain, so with the default
+/// engine every reduce partition of every round must run the dense-reduce
+/// strategy — and the count must cover every partition of every round.
+#[test]
+fn every_builder_reduces_densely_on_every_partition() {
+    let ds = dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let reducers = 4u32;
+    for b in builders(EngineConfig::default().with_reducers(reducers)) {
+        let got = b.build(&ds, &cluster, 8);
+        let s = got.metrics.reduce_strategies;
+        assert_eq!(
+            s.total(),
+            got.metrics.rounds * reducers,
+            "{}: one strategy record per partition per round",
+            b.name()
+        );
+        assert_eq!(
+            s.dense_reduce,
+            s.total(),
+            "{}: bounded-domain jobs must reduce densely",
+            b.name()
+        );
+    }
+}
+
 /// The pipelined engine run twice is bit-identical (wall-clock aside).
 #[test]
 fn builder_runs_are_reproducible() {
@@ -196,6 +223,48 @@ fn builder_runs_are_reproducible() {
 
 fn splits_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
     prop::collection::vec(prop::collection::vec(0u64..60, 0..70), 1..14)
+}
+
+/// A combiner-less job over a bounded key domain whose output pins the
+/// exact value delivery sequence: each value encodes its `(split id,
+/// arrival index)`, and the reducer emits a position-weighted digest of
+/// its value list plus a per-pair CPU charge — so any reorder of a key's
+/// values, any dropped group, or any miscounted charge changes the
+/// `(outputs, metrics)` pair. This is the probe behind the
+/// reduce-strategy differential properties.
+fn strategy_probe_job(
+    splits: Vec<Vec<u64>>,
+    engine: EngineConfig,
+    radix: bool,
+) -> (Vec<(u64, u64, u64)>, wavelet_hist::mapreduce::RunMetrics) {
+    let tasks: Vec<MapTask<WKey, u64>> = splits
+        .into_iter()
+        .enumerate()
+        .map(|(j, keys)| {
+            MapTask::new(j as u32, move |ctx: &mut MapContext<WKey, u64>| {
+                for (i, k) in keys.iter().enumerate() {
+                    ctx.emit(WKey::four(*k), ((j as u64) << 32) | i as u64);
+                }
+            })
+        })
+        .collect();
+    let mut spec = JobSpec::new(
+        "strategy-probe",
+        tasks,
+        |k: &WKey, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, u64)>| {
+            ctx.charge(vs.len() as f64 * 2.0);
+            let digest = vs.iter().enumerate().fold(0u64, |acc, (i, v)| {
+                acc.wrapping_add(v.wrapping_mul(i as u64 + 1))
+            });
+            ctx.emit((k.id, vs.len() as u64, digest));
+        },
+    )
+    .with_engine(engine);
+    if radix {
+        spec = spec.with_radix_keys();
+    }
+    let out = run_job(&ClusterConfig::paper_cluster(), spec);
+    (out.outputs, out.metrics)
 }
 
 fn count_job(
@@ -362,6 +431,48 @@ proptest! {
         );
         prop_assert_eq!(specialized.0, reference.0);
         prop_assert_eq!(specialized.1, reference.1);
+    }
+
+    /// Tentpole (PR 4): the dense-reduce strategy is byte-identical —
+    /// outputs *and* metrics, charged CPU included — to sort-at-reduce,
+    /// to the merge path, and to the preserved seed engine, on random
+    /// bounded-domain jobs, for 1/2/8 reducers and 1/2/8 reduce threads.
+    #[test]
+    fn dense_reduce_equals_every_strategy_and_engine(splits in splits_strategy()) {
+        for reducers in [1u32, 2, 8] {
+            let base = EngineConfig::pipelined().with_reducers(reducers);
+            // No codec → pre-sorted spills + k-way merge.
+            let merge = strategy_probe_job(splits.clone(), base, false);
+            // Codec without a hint → one radix sort per partition when
+            // R > 1 (merge again when R = 1).
+            let sorted = strategy_probe_job(splits.clone(), base, true);
+            prop_assert_eq!(&merge.0, &sorted.0, "reducers={}", reducers);
+            prop_assert_eq!(&merge.1, &sorted.1, "reducers={}", reducers);
+            // Codec + bounded domain → dense reduce, at every thread count.
+            for threads in [1usize, 2, 8] {
+                let dense = strategy_probe_job(
+                    splits.clone(),
+                    base.with_key_domain(64).with_reducer_parallelism(threads),
+                    true,
+                );
+                prop_assert_eq!(
+                    &merge.0, &dense.0,
+                    "reducers={} threads={}", reducers, threads
+                );
+                prop_assert_eq!(
+                    &merge.1, &dense.1,
+                    "reducers={} threads={}", reducers, threads
+                );
+            }
+            // And the preserved seed engine, bit for bit.
+            let reference = strategy_probe_job(
+                splits.clone(),
+                EngineConfig::reference().with_reducers(reducers),
+                false,
+            );
+            prop_assert_eq!(&merge.0, &reference.0, "reducers={}", reducers);
+            prop_assert_eq!(&merge.1, &reference.1, "reducers={}", reducers);
+        }
     }
 
     /// Differential: the pipelined engine equals the preserved seed engine
