@@ -1,7 +1,7 @@
-//! The fixed benchmark suite behind `BENCH_PR4.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR5.json` and the CI
 //! regression gate.
 //!
-//! Eight benchmarks, each timing the **optimized** side against a
+//! Nine benchmarks, each timing the **optimized** side against a
 //! baseline measured in the same process and run:
 //!
 //! | name | optimized side | baseline side |
@@ -14,6 +14,7 @@
 //! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
+//! | `query_throughput` | batched selectivity serving (`wh-query`) | one-at-a-time serving |
 //!
 //! Because both sides run on the same machine moments apart, the
 //! per-bench `relative_cost` (`wall_s / reference_wall_s`) is portable
@@ -32,9 +33,11 @@
 use std::time::Instant;
 
 use wh_core::builders::{HistogramBuilder, SendCoef, SendV, TwoLevelS};
+use wh_core::WaveletHistogram;
 use wh_data::DatasetBuilder;
 use wh_mapreduce::wire::WKey;
 use wh_mapreduce::{radix, run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
+use wh_query::{BatchScratch, CompiledHistogram};
 use wh_wavelet::Domain;
 
 /// How the suite is scaled.
@@ -127,6 +130,7 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
         end_to_end_send_coef(opts),
         end_to_end_send_v(opts),
         end_to_end_two_level(opts),
+        query_throughput(opts),
     ]
 }
 
@@ -507,6 +511,99 @@ fn end_to_end_two_level(opts: SuiteOptions) -> BenchRecord {
     })
 }
 
+/// The serving subsystem end to end: answer a large batch of range
+/// selectivity queries over a built, compiled `k`-term histogram. The
+/// baseline side serves the queries **one at a time** (two `O(log k)`
+/// binary searches each); the optimized side serves the identical batch
+/// through `wh-query`'s batched path (radix-sort the endpoints, resolve
+/// them in one galloping walk over the segments) — the answers must be
+/// bit-identical.
+///
+/// When a thread budget is pinned ([`SuiteOptions::threads`]), **both**
+/// sides split the batch across that many serving threads sharing one
+/// `&CompiledHistogram` — the thread-per-core deployment the compiled
+/// form's `Sync` immutability exists for — so the ratio isolates
+/// batching, not parallelism. The histogram is the top-`k` of the exact
+/// transform of a skewed synthetic frequency vector (what an exact
+/// builder would ship at this domain scale); compilation is one-time
+/// and untimed, as in a real serving deployment.
+fn query_throughput(opts: SuiteOptions) -> BenchRecord {
+    let (log_u, k, num_queries) = if opts.fast {
+        (18u32, 16_384usize, 150_000usize)
+    } else {
+        (22, 65_536, 1_000_000)
+    };
+    let domain = Domain::new(log_u).expect("valid log_u");
+    let u = domain.u();
+
+    // A heavy-tailed frequency vector: most keys small, scattered spikes.
+    let freq: Vec<f64> = (0..u)
+        .map(|x| {
+            let z = scramble(x);
+            (z % 97) as f64 + if z % 1021 == 0 { 4_000.0 } else { 0.0 }
+        })
+        .collect();
+    let w = wh_wavelet::haar::forward(&freq);
+    let top =
+        wh_wavelet::select::top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+    let hist = WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)));
+    let compiled = CompiledHistogram::compile(&hist);
+
+    // Range predicates of mixed width, scattered over the domain.
+    let queries: Vec<(u64, u64)> = (0..num_queries as u64)
+        .map(|i| {
+            let lo = scramble(i) % u;
+            let len = scramble(i ^ 0x00c0ffee) % (u / 64).max(1);
+            (lo, (lo + len).min(u - 1))
+        })
+        .collect();
+
+    let threads = opts.threads.max(1);
+    let chunk = num_queries.div_ceil(threads);
+    let compiled = &compiled;
+
+    let mut single_out = vec![0.0f64; num_queries];
+    let (ref_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for (qs, outs) in queries.chunks(chunk).zip(single_out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (slot, &(lo, hi)) in outs.iter_mut().zip(qs) {
+                        *slot = compiled.range_sum(lo, hi);
+                    }
+                });
+            }
+        });
+    });
+
+    // Per-thread scratch allocated once and recycled across repetitions,
+    // exactly like a warm serving loop.
+    let mut scratches: Vec<BatchScratch> = (0..threads).map(|_| BatchScratch::new()).collect();
+    let mut batch_out = vec![0.0f64; num_queries];
+    let (wall_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for ((qs, outs), scratch) in queries
+                .chunks(chunk)
+                .zip(batch_out.chunks_mut(chunk))
+                .zip(scratches.iter_mut())
+            {
+                s.spawn(move || compiled.range_sum_batch_into(qs, scratch, outs));
+            }
+        });
+    });
+
+    let outputs_match = single_out
+        .iter()
+        .zip(&batch_out)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    BenchRecord {
+        name: "query_throughput",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: num_queries as f64 / wall_s.max(1e-12),
+        outputs_match,
+    }
+}
+
 /// Section name a `(fast, threads)` combination's records live under in
 /// the report. Full-scale runs and fast (CI smoke) runs are **not**
 /// comparable to each other — fast workloads are far less shuffle-bound —
@@ -545,7 +642,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR4.json`
+/// Renders the machine-readable suite report (the `BENCH_PR5.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -554,7 +651,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR4\",\n");
+    out.push_str("  \"suite\": \"PR5\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -772,7 +869,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR4".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR5".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -884,7 +981,7 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 8);
+        assert_eq!(records.len(), 9);
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

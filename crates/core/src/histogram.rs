@@ -131,6 +131,26 @@ impl WaveletHistogram {
         (self.range_sum(lo, hi) / n as f64).clamp(0.0, 1.0)
     }
 
+    /// Estimated cumulative frequency of keys `0..=x` via the error
+    /// tree's root-to-leaf path.
+    ///
+    /// Each call builds the `O(k)` error tree first (like every query
+    /// method on this type); the `O(log u)` walk only pays off on a
+    /// retained [`ErrorTree`] or, for serving many queries, a
+    /// compile-once `wh-query` `CompiledHistogram`.
+    pub fn prefix_sum(&self, x: u64) -> f64 {
+        self.tree().prefix_sum(x)
+    }
+
+    /// The piecewise-constant reconstruction as ascending `(start, value)`
+    /// segments — the histogram's query-optimized form (computed through
+    /// a freshly built error tree, `O(k log u)` per call). This is what
+    /// the `wh-query` compiler lays out with per-segment prefix sums; see
+    /// [`wh_wavelet::tree::ErrorTree::segments`] for the exact contract.
+    pub fn segments(&self) -> Vec<(u64, f64)> {
+        self.tree().segments()
+    }
+
     /// Reconstructs the full estimated frequency vector (small domains).
     pub fn reconstruct(&self) -> Vec<f64> {
         self.tree().reconstruct()

@@ -119,14 +119,20 @@ pub struct RunMetrics {
     pub cpu_ops: f64,
     /// Simulated wall-clock seconds on the configured cluster.
     pub sim_time_s: f64,
-    /// Real elapsed seconds of the map phase (task execution, in-mapper
-    /// combining, and the per-partition sorted spills).
+    /// Real elapsed seconds of the map phase: task execution, in-mapper
+    /// combining, and per-partition spill preparation. What a spill is
+    /// depends on the job's [`ReduceStrategy`]: the `Merge` strategy
+    /// pre-sorts each partition run inside the map worker, while
+    /// `SortAtReduce` and `DenseReduce` ship runs unsorted (ordering is
+    /// the reduce side's job there).
     pub wall_map_s: f64,
     /// Real elapsed seconds of the shuffle (regrouping spill runs into
-    /// per-partition merge inputs; accounting).
+    /// per-partition reduce inputs; accounting).
     pub wall_shuffle_s: f64,
-    /// Real elapsed seconds of the reduce phase (k-way merges, reduce
-    /// calls, the Close hook, and output stitching).
+    /// Real elapsed seconds of the reduce phase: per-partition grouping
+    /// under the selected [`ReduceStrategy`] (flat slot-array
+    /// aggregation, one stable radix sort, or a k-way merge of pre-sorted
+    /// runs), reduce calls, the Close hook, and output stitching.
     pub wall_reduce_s: f64,
     /// Per-strategy count of reduce partitions in this run (pipelined
     /// engine only; the reference engine records nothing). Excluded from

@@ -197,12 +197,14 @@ pub(crate) fn sort_pairs_with<K, V>(
     }
     assert!(n <= u32::MAX as usize, "spill run exceeds u32 indexing");
 
-    // Extract radixes once, tracking the maximum (bounds the digit count)
-    // and whether the run is already sorted (combined spills arrive in
-    // key order, so this O(n) scan routinely saves the whole sort).
+    // Extract radixes once, tracking the minimum and maximum (they bound
+    // the digit count) and whether the run is already sorted (combined
+    // spills arrive in key order, so this O(n) scan routinely saves the
+    // whole sort).
     let keyed = &mut scratch.keyed;
     keyed.clear();
     keyed.reserve(n);
+    let mut min = u64::MAX;
     let mut max = 0u64;
     let mut prev = 0u64;
     let mut sorted = true;
@@ -210,6 +212,7 @@ pub(crate) fn sort_pairs_with<K, V>(
         let r = radix_of(k);
         sorted &= r >= prev;
         prev = r;
+        min = min.min(r);
         max = max.max(r);
         keyed.push((r, i as u32));
     }
@@ -217,14 +220,28 @@ pub(crate) fn sort_pairs_with<K, V>(
         return;
     }
 
+    // Rebase every radix by the run's minimum: subtracting a constant
+    // preserves order (and ties), so the sort is unchanged — but the
+    // effective key width shrinks from [0, max] to [0, max − min]. A
+    // range-partitioned run whose keys live in a narrow [lo, hi] band
+    // (every partition of a range-partitioned job) now takes the
+    // single-histogram counting sort sized to its *span*, and runs that
+    // still need LSD passes may need fewer digits.
+    if min > 0 {
+        for e in keyed.iter_mut() {
+            e.0 -= min;
+        }
+        max -= min;
+    }
+
     let digits = (64 - max.leading_zeros() as usize).div_ceil(8);
     let dst = &mut scratch.dst;
     dst.clear();
     dst.resize(n, 0);
     if max < (n as u64).saturating_mul(2) {
-        // Dense keys: one histogram over [0, max] replaces every LSD
-        // pass — each element's destination falls out of a single
-        // stable counting sort.
+        // Dense keys: one histogram over the rebased [0, max − min]
+        // span replaces every LSD pass — each element's destination
+        // falls out of a single stable counting sort.
         counting_fill_dst(keyed, &mut scratch.counts, dst, max as usize);
     } else if max < (1 << (64 - PACK_IDX_BITS)) && n < (1 << PACK_IDX_BITS) {
         lsd_packed(
@@ -251,10 +268,11 @@ pub(crate) fn sort_pairs_with<K, V>(
     }
 }
 
-/// Stable counting sort for dense radixes (`max < 2n`): one histogram
-/// over `[0, max]`, a prefix sum, and one pass assigning each element its
-/// destination — no digit passes at all. Equal radixes receive ascending
-/// destinations in arrival order, so stability matches the LSD paths.
+/// Stable counting sort for dense radixes (span `max < 2n` after the
+/// min-rebase): one histogram over `[0, max]`, a prefix sum, and one pass
+/// assigning each element its destination — no digit passes at all. Equal
+/// radixes receive ascending destinations in arrival order, so stability
+/// matches the LSD paths.
 fn counting_fill_dst(keyed: &[(u64, u32)], counts: &mut Vec<u32>, dst: &mut [u32], max: usize) {
     counts.clear();
     counts.resize(max + 1, 0);
@@ -507,6 +525,35 @@ mod tests {
                 (WKey::four(9), 'c')
             ]
         );
+    }
+
+    #[test]
+    fn rebased_counting_sort_handles_high_narrow_runs() {
+        // A range-partitioned partition's regime: keys in a narrow band
+        // far from zero. Without the min-rebase this span would take LSD
+        // digit passes; with it, the counting path sized to [lo, hi].
+        for lo in [1u64 << 17, (1 << 40) - 500, u64::MAX - 900] {
+            let pairs: Vec<(u64, u64)> = (0..600)
+                .map(|i: u64| (lo + (i.wrapping_mul(0x9e3779b97f4a7c15) >> 55) % 400, i))
+                .collect();
+            let want = reference_sort(&pairs);
+            let mut got = pairs;
+            sort_pairs(&mut got);
+            assert_eq!(got, want, "lo={lo}");
+        }
+    }
+
+    #[test]
+    fn rebase_keeps_ties_in_arrival_order() {
+        let base = 0xdead_beef_0000u64;
+        let mut pairs: Vec<(u64, u32)> = (0..300).map(|i| (base + u64::from(i % 3), i)).collect();
+        sort_pairs(&mut pairs);
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "{w:?}"
+            );
+        }
     }
 
     #[test]

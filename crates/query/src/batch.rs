@@ -1,0 +1,416 @@
+//! The batched query path: sort a batch's endpoints once, resolve them
+//! all in one monotone walk over the compiled segments.
+//!
+//! Answers are **bit-identical** to the single-query methods: both paths
+//! locate the same segment for every endpoint (segments partition the
+//! domain, so the index is unique) and then evaluate the identical
+//! [`CompiledHistogram::prefix_at`] expression, combining the two
+//! endpoint prefixes of each range in the same order.
+
+use crate::compiled::CompiledHistogram;
+
+/// Reusable scratch of the batched query path: the endpoint buffer, its
+/// sort swap space, the digit histograms, and the per-endpoint prefix
+/// estimates. One per serving thread, recycled across batches — after
+/// the first call at a given batch size, batched serving allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// `(key, tag)` endpoints; the tag's low bit distinguishes a range's
+    /// `lo − 1` endpoint (0) from its `hi` endpoint (1), the rest is the
+    /// query index.
+    endpoints: Vec<(u64, u32)>,
+    /// Ping-pong buffer of the LSD endpoint sort.
+    swap: Vec<(u64, u32)>,
+    /// Per-pass digit histograms of the endpoint sort.
+    counts: Vec<u32>,
+    /// Cumulative estimates indexed by tag.
+    prefixes: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts the endpoint buffer ascending by key. See [`sort_endpoints`].
+    fn sort(&mut self) {
+        sort_endpoints(&mut self.endpoints, &mut self.swap, &mut self.counts);
+    }
+}
+
+/// Digit width of the endpoint sort: 11-bit digits mean at most four
+/// counting passes for the widest supported domain (`2^40`) and two for
+/// anything up to `2^22`, with 2048-entry histograms that live in L1.
+const DIGIT_BITS: u32 = 11;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// LSD counting sort of the endpoint batch, ascending by key.
+///
+/// Purpose-built for serving rather than reusing the engine's
+/// `wh-mapreduce` radix sorter: that sorter permutes the *original*
+/// array in place (its callers keep pair identity), which costs an extra
+/// random-access cycle walk — but the batched query path only consumes
+/// the sorted *stream* (each endpoint carries its identity in the tag),
+/// so here the last ping-pong buffer is simply swapped into place.
+/// Passes cover the keys' min-rebased span, so a batch of nearby
+/// predicates sorts in a single pass regardless of where in the domain
+/// it lands; a pre-scan skips the sort entirely when the batch already
+/// arrives in key order. Order among equal keys is irrelevant (every
+/// endpoint is resolved independently), but counting passes are stable
+/// anyway.
+fn sort_endpoints(main: &mut Vec<(u64, u32)>, swap: &mut Vec<(u64, u32)>, counts: &mut Vec<u32>) {
+    let n = main.len();
+    if n <= 1 {
+        return;
+    }
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    let mut prev = 0u64;
+    let mut sorted = true;
+    for &(k, _) in main.iter() {
+        sorted &= k >= prev;
+        prev = k;
+        min = min.min(k);
+        max = max.max(k);
+    }
+    if sorted {
+        return;
+    }
+    let bits = 64 - (max - min).leading_zeros();
+    let passes = bits.div_ceil(DIGIT_BITS) as usize;
+    swap.clear();
+    swap.resize(n, (0, 0));
+    counts.clear();
+    counts.resize(BUCKETS * passes, 0);
+    for &(k, _) in main.iter() {
+        let r = k - min;
+        for p in 0..passes {
+            let b = (r >> (p as u32 * DIGIT_BITS)) as usize & (BUCKETS - 1);
+            counts[p * BUCKETS + b] += 1;
+        }
+    }
+    let mut src_is_main = true;
+    for p in 0..passes {
+        let c = &mut counts[p * BUCKETS..(p + 1) * BUCKETS];
+        // A digit where every key agrees permutes nothing: skip the pass.
+        if c.iter().any(|&x| x as usize == n) {
+            continue;
+        }
+        let mut sum = 0u32;
+        for slot in c.iter_mut() {
+            let next = sum + *slot;
+            *slot = sum;
+            sum = next;
+        }
+        let (src, dst) = if src_is_main {
+            (&mut *main, &mut *swap)
+        } else {
+            (&mut *swap, &mut *main)
+        };
+        let shift = p as u32 * DIGIT_BITS;
+        for &(k, t) in src.iter() {
+            let b = ((k - min) >> shift) as usize & (BUCKETS - 1);
+            dst[c[b] as usize] = (k, t);
+            c[b] += 1;
+        }
+        src_is_main = !src_is_main;
+    }
+    if !src_is_main {
+        std::mem::swap(main, swap);
+    }
+}
+
+/// Largest index `i ≥ from` with `starts[i] <= x`, found by galloping
+/// from the cursor: doubling probes bracket the target, a binary search
+/// inside the bracket pins it. Adjacent endpoints land in adjacent
+/// segments, so the common case is one or two probes; a sparse batch
+/// still pays only `O(log gap)` instead of `O(log k)`.
+///
+/// Precondition (upheld by the callers): `starts[from] <= x`.
+fn advance(starts: &[u64], from: usize, x: u64) -> usize {
+    debug_assert!(starts[from] <= x);
+    let mut lo = from;
+    let mut step = 1usize;
+    loop {
+        let probe = lo + step;
+        if probe >= starts.len() || starts[probe] > x {
+            break;
+        }
+        lo = probe;
+        step <<= 1;
+    }
+    let window_end = (lo + step).min(starts.len());
+    lo + starts[lo..window_end].partition_point(|&s| s <= x) - 1
+}
+
+impl CompiledHistogram {
+    /// Answers a batch of inclusive range-sum queries into `out`,
+    /// bit-identical to calling [`Self::range_sum`] per query.
+    ///
+    /// The batch's `2q` endpoints are radix-sorted (the LSD counting
+    /// sort whose buffers live in `scratch`), then resolved in one
+    /// galloping walk over the segment array — `O(q + k)` probes total
+    /// versus `O(q log k)` for one-at-a-time serving. `scratch` and
+    /// `out` are caller-owned, so a warm serving loop allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != queries.len()`, on any invalid query
+    /// (`lo > hi` or `hi` outside the domain), or when the batch exceeds
+    /// `2^30` queries (tag budget).
+    pub fn range_sum_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            queries.len(),
+            out.len(),
+            "output buffer must match the batch length"
+        );
+        assert!(
+            queries.len() <= 1 << 30,
+            "batch exceeds the 2^30 tag budget"
+        );
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(2 * queries.len());
+        scratch.prefixes.clear();
+        scratch.prefixes.resize(2 * queries.len(), 0.0);
+        let domain = self.domain();
+        for (q, &(lo, hi)) in queries.iter().enumerate() {
+            assert!(lo <= hi, "empty range [{lo}, {hi}]");
+            assert!(domain.contains(hi), "key {hi} outside {domain}");
+            let tag = (q as u32) << 1;
+            // lo == 0 keeps its prefix slot at the 0.0 the resize wrote —
+            // the same value the single-query path uses.
+            if lo > 0 {
+                scratch.endpoints.push((lo - 1, tag));
+            }
+            scratch.endpoints.push((hi, tag | 1));
+        }
+        scratch.sort();
+        let starts = self.start_keys();
+        let mut seg = 0usize;
+        for &(x, tag) in scratch.endpoints.iter() {
+            seg = advance(starts, seg, x);
+            scratch.prefixes[tag as usize] = self.prefix_at(seg, x);
+        }
+        for (q, slot) in out.iter_mut().enumerate() {
+            *slot = scratch.prefixes[2 * q + 1] - scratch.prefixes[2 * q];
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`Self::range_sum_batch_into`].
+    pub fn range_sum_batch(&self, queries: &[(u64, u64)]) -> Vec<f64> {
+        let mut out = vec![0.0; queries.len()];
+        self.range_sum_batch_into(queries, &mut BatchScratch::new(), &mut out);
+        out
+    }
+
+    /// Answers a batch of selectivity queries relative to `n` records,
+    /// bit-identical to calling [`Self::selectivity`] per query.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::range_sum_batch_into`], plus `n == 0`.
+    pub fn selectivity_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        n: u64,
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        assert!(n > 0, "selectivity needs a positive record count");
+        self.range_sum_batch_into(queries, scratch, out);
+        for slot in out.iter_mut() {
+            *slot = (*slot / n as f64).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Answers a batch of point estimates into `out`, bit-identical to
+    /// calling [`Self::point_estimate`] per key — the same sorted
+    /// galloping walk, resolving segment values instead of prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != keys.len()`, on any key outside the
+    /// domain, or when the batch exceeds `2^31` keys.
+    pub fn point_estimate_batch_into(
+        &self,
+        keys: &[u64],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "output buffer must match the batch length"
+        );
+        assert!(keys.len() <= 1 << 31, "batch exceeds the 2^31 tag budget");
+        let domain = self.domain();
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(keys.len());
+        for (i, &x) in keys.iter().enumerate() {
+            assert!(domain.contains(x), "key {x} outside {domain}");
+            scratch.endpoints.push((x, i as u32));
+        }
+        scratch.sort();
+        let starts = self.start_keys();
+        let mut seg = 0usize;
+        for &(x, idx) in scratch.endpoints.iter() {
+            seg = advance(starts, seg, x);
+            out[idx as usize] = self.value_at(seg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_core::WaveletHistogram;
+    use wh_wavelet::haar::forward;
+    use wh_wavelet::select::top_k_magnitude;
+    use wh_wavelet::Domain;
+
+    fn compiled_from_signal(v: &[f64], k: usize) -> CompiledHistogram {
+        let domain = Domain::covering(v.len() as u64).unwrap();
+        let w = forward(v);
+        let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+        CompiledHistogram::compile(&WaveletHistogram::new(
+            domain,
+            top.iter().map(|e| (e.slot, e.value)),
+        ))
+    }
+
+    fn scramble(x: u64) -> u64 {
+        let mut z = x.wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 27)
+    }
+
+    fn random_queries(u: u64, count: usize) -> Vec<(u64, u64)> {
+        (0..count as u64)
+            .map(|i| {
+                let lo = scramble(i) % u;
+                let hi = lo + scramble(i ^ 0xdead) % (u - lo);
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn endpoint_sort_orders_any_key_material() {
+        // Wide spreads, narrow high bands (min-rebase), heavy ties,
+        // already-sorted input (skip path), and trivial lengths.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            (0..1000).map(scramble).collect(),
+            (0..1000).map(|i| scramble(i) % 5).collect(),
+            (0..1000).map(|i| (1 << 39) + scramble(i) % 300).collect(),
+            (0..1000).collect(),
+        ];
+        for keys in cases {
+            let mut main: Vec<(u64, u32)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u32))
+                .collect();
+            let mut want = main.clone();
+            want.sort_unstable();
+            let mut swap = Vec::new();
+            let mut counts = Vec::new();
+            sort_endpoints(&mut main, &mut swap, &mut counts);
+            // Ascending by key, and no endpoint lost or duplicated (tie
+            // order is irrelevant to the walk, so normalize fully).
+            assert!(main.windows(2).all(|w| w[0].0 <= w[1].0));
+            main.sort_unstable();
+            assert_eq!(main, want);
+        }
+    }
+
+    #[test]
+    fn advance_finds_the_segment_from_any_cursor() {
+        let starts = [0u64, 4, 5, 9, 100, 101];
+        for (x, want) in [(0, 0), (3, 0), (4, 1), (8, 2), (99, 3), (100, 4), (500, 5)] {
+            for from in 0..=want {
+                assert_eq!(advance(&starts, from, x), want, "x={x} from={from}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_range_sums_are_bit_identical_to_single() {
+        let v: Vec<f64> = (0..256)
+            .map(|i| ((i * 37) % 19) as f64 - ((i % 5) as f64))
+            .collect();
+        for k in [256usize, 17, 2, 0] {
+            let compiled = compiled_from_signal(&v, k);
+            let queries = random_queries(256, 500);
+            let mut scratch = BatchScratch::new();
+            let mut out = vec![0.0; queries.len()];
+            compiled.range_sum_batch_into(&queries, &mut scratch, &mut out);
+            for (&(lo, hi), &batched) in queries.iter().zip(&out) {
+                assert_eq!(
+                    batched.to_bits(),
+                    compiled.range_sum(lo, hi).to_bits(),
+                    "k={k} [{lo},{hi}]"
+                );
+            }
+            // Scratch reuse across batches must not change answers.
+            let more = random_queries(256, 73);
+            let mut out2 = vec![0.0; more.len()];
+            compiled.range_sum_batch_into(&more, &mut scratch, &mut out2);
+            for (&(lo, hi), &batched) in more.iter().zip(&out2) {
+                assert_eq!(batched.to_bits(), compiled.range_sum(lo, hi).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_selectivities_and_points_match_single() {
+        let v: Vec<f64> = (0..128).map(|i| ((i * 13) % 29) as f64).collect();
+        let compiled = compiled_from_signal(&v, 11);
+        let n = 1000u64;
+        let queries = random_queries(128, 200);
+        let mut scratch = BatchScratch::new();
+        let mut out = vec![0.0; queries.len()];
+        compiled.selectivity_batch_into(&queries, n, &mut scratch, &mut out);
+        for (&(lo, hi), &batched) in queries.iter().zip(&out) {
+            assert_eq!(batched.to_bits(), compiled.selectivity(lo, hi, n).to_bits());
+        }
+        let keys: Vec<u64> = (0..300u64).map(|i| scramble(i) % 128).collect();
+        let mut pts = vec![0.0; keys.len()];
+        compiled.point_estimate_batch_into(&keys, &mut scratch, &mut pts);
+        for (&x, &batched) in keys.iter().zip(&pts) {
+            assert_eq!(batched.to_bits(), compiled.point_estimate(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let compiled = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        let mut scratch = BatchScratch::new();
+        let mut out: [f64; 0] = [];
+        compiled.range_sum_batch_into(&[], &mut scratch, &mut out);
+        assert!(compiled.range_sum_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer")]
+    fn mismatched_output_length_panics() {
+        let compiled = compiled_from_signal(&[1.0, 2.0], 2);
+        let mut out = [0.0; 1];
+        compiled.range_sum_batch_into(&[(0, 1), (0, 0)], &mut BatchScratch::new(), &mut out);
+    }
+
+    #[test]
+    fn scratch_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<BatchScratch>();
+    }
+}

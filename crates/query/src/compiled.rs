@@ -1,0 +1,240 @@
+//! The immutable, query-optimized form of a built wavelet histogram.
+
+use wh_core::WaveletHistogram;
+use wh_wavelet::Domain;
+
+/// A [`WaveletHistogram`] compiled for serving: the pruned error tree
+/// flattened to its piecewise-constant segments, with per-segment prefix
+/// sums.
+///
+/// All state is immutable after [`compile`](Self::compile), so the type
+/// is `Sync` — a multi-threaded server shares one instance by reference.
+/// Every query method is allocation-free and runs in `O(log k)` for `k`
+/// retained coefficients (the segment count is at most `3k + 1`); the
+/// batched methods ([`Self::range_sum_batch_into`] and friends)
+/// amortize further.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledHistogram {
+    domain: Domain,
+    /// Segment start keys, strictly ascending; `starts[0] == 0`. Segment
+    /// `i` covers `[starts[i], starts[i+1])`, the last running to `u`.
+    starts: Vec<u64>,
+    /// Estimated frequency of every key inside the segment.
+    values: Vec<f64>,
+    /// Estimated cumulative frequency of all keys *before* the segment.
+    prefix: Vec<f64>,
+    /// Estimated total frequency over the whole domain.
+    total: f64,
+}
+
+impl CompiledHistogram {
+    /// Compiles a built histogram. `O(k log u)` once; queries never touch
+    /// the coefficient set again.
+    pub fn compile(hist: &WaveletHistogram) -> Self {
+        let domain = hist.domain();
+        let segs = hist.segments();
+        let mut starts = Vec::with_capacity(segs.len());
+        let mut values = Vec::with_capacity(segs.len());
+        let mut prefix = Vec::with_capacity(segs.len());
+        let mut acc = 0.0f64;
+        for (i, &(start, value)) in segs.iter().enumerate() {
+            starts.push(start);
+            values.push(value);
+            prefix.push(acc);
+            let end = segs.get(i + 1).map_or(domain.u(), |&(s, _)| s);
+            acc += value * ((end - start) as f64);
+        }
+        Self {
+            domain,
+            starts,
+            values,
+            prefix,
+            total: acc,
+        }
+    }
+
+    /// The key domain this histogram describes.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of piecewise-constant segments (≤ `3k + 1`).
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The segments as ascending `(start, value)` pairs.
+    pub fn segments(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.starts.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Estimated total frequency over the whole domain (equals
+    /// `prefix_sum(u − 1)` bit for bit).
+    pub fn total_estimate(&self) -> f64 {
+        self.total
+    }
+
+    /// Index of the segment containing `x` (caller guarantees `x` is in
+    /// the domain, so a segment always exists).
+    #[inline]
+    fn segment_of(&self, x: u64) -> usize {
+        self.starts.partition_point(|&s| s <= x) - 1
+    }
+
+    /// The cumulative-estimate formula, shared verbatim by the single and
+    /// batched paths so their answers are bit-identical.
+    #[inline]
+    pub(crate) fn prefix_at(&self, seg: usize, x: u64) -> f64 {
+        self.prefix[seg] + self.values[seg] * ((x - self.starts[seg] + 1) as f64)
+    }
+
+    /// Start-key array, for the batched walk.
+    #[inline]
+    pub(crate) fn start_keys(&self) -> &[u64] {
+        &self.starts
+    }
+
+    /// Per-key estimate of segment `seg`, for the batched walk.
+    #[inline]
+    pub(crate) fn value_at(&self, seg: usize) -> f64 {
+        self.values[seg]
+    }
+
+    /// Estimated frequency of the (0-based) key `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is outside the domain.
+    pub fn point_estimate(&self, x: u64) -> f64 {
+        assert!(self.domain.contains(x), "key {x} outside {}", self.domain);
+        self.values[self.segment_of(x)]
+    }
+
+    /// Estimated cumulative frequency of keys `0..=x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is outside the domain.
+    pub fn prefix_sum(&self, x: u64) -> f64 {
+        assert!(self.domain.contains(x), "key {x} outside {}", self.domain);
+        self.prefix_at(self.segment_of(x), x)
+    }
+
+    /// Estimated total frequency of keys in `[lo, hi]` (0-based,
+    /// inclusive) — two cumulative estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or `hi` is outside the domain.
+    pub fn range_sum(&self, lo: u64, hi: u64) -> f64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let hi_p = self.prefix_sum(hi);
+        let lo_p = if lo == 0 {
+            0.0
+        } else {
+            self.prefix_sum(lo - 1)
+        };
+        hi_p - lo_p
+    }
+
+    /// Estimated selectivity of `[lo, hi]` relative to `n` records,
+    /// clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `lo > hi`, or `hi` is outside the domain.
+    pub fn selectivity(&self, lo: u64, hi: u64, n: u64) -> f64 {
+        assert!(n > 0, "selectivity needs a positive record count");
+        (self.range_sum(lo, hi) / n as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_wavelet::haar::forward;
+    use wh_wavelet::select::top_k_magnitude;
+
+    fn compiled_from_signal(v: &[f64], k: usize) -> (CompiledHistogram, WaveletHistogram) {
+        let domain = Domain::covering(v.len() as u64).unwrap();
+        assert_eq!(domain.u() as usize, v.len());
+        let w = forward(v);
+        let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+        let hist = WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)));
+        (CompiledHistogram::compile(&hist), hist)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matches_error_tree_on_full_and_truncated_retention() {
+        let v: Vec<f64> = (0..128).map(|i| ((i * 17) % 23) as f64).collect();
+        for k in [128usize, 9, 3, 1] {
+            let (compiled, hist) = compiled_from_signal(&v, k);
+            for x in 0..128u64 {
+                assert!(
+                    close(compiled.point_estimate(x), hist.point_estimate(x)),
+                    "k={k} x={x}"
+                );
+                assert!(
+                    close(compiled.prefix_sum(x), hist.prefix_sum(x)),
+                    "k={k} x={x}"
+                );
+            }
+            for (lo, hi) in [(0, 127), (5, 5), (31, 96), (0, 0), (127, 127)] {
+                assert!(
+                    close(compiled.range_sum(lo, hi), hist.range_sum(lo, hi)),
+                    "k={k} [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_equals_last_prefix_bitwise() {
+        let v: Vec<f64> = (0..64).map(|i| ((i * 31) % 11) as f64).collect();
+        let (compiled, _) = compiled_from_signal(&v, 10);
+        assert_eq!(
+            compiled.total_estimate().to_bits(),
+            compiled.prefix_sum(63).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_serves_zeros() {
+        let domain = Domain::new(4).unwrap();
+        let hist = WaveletHistogram::new(domain, std::iter::empty::<(u64, f64)>());
+        let compiled = CompiledHistogram::compile(&hist);
+        assert_eq!(compiled.num_segments(), 1);
+        assert_eq!(compiled.point_estimate(7), 0.0);
+        assert_eq!(compiled.range_sum(0, 15), 0.0);
+        assert_eq!(compiled.selectivity(3, 9, 100), 0.0);
+        assert_eq!(compiled.total_estimate(), 0.0);
+    }
+
+    #[test]
+    fn selectivity_clamps_like_the_histogram() {
+        let v = vec![10.0, 0.0, 0.0, 0.0];
+        let (compiled, hist) = compiled_from_signal(&v, 4);
+        assert_eq!(
+            compiled.selectivity(0, 0, 10).to_bits(),
+            hist.selectivity(0, 0, 10).to_bits()
+        );
+        assert!(compiled.selectivity(1, 3, 10) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_domain_panics() {
+        let (compiled, _) = compiled_from_signal(&[1.0, 2.0], 2);
+        compiled.point_estimate(2);
+    }
+
+    #[test]
+    fn compiled_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<CompiledHistogram>();
+    }
+}

@@ -1,0 +1,83 @@
+//! # wh-query — serving selectivity queries from built wavelet histograms
+//!
+//! The paper builds best-`k`-term wavelet histograms *so that* a
+//! coordinator can answer selectivity queries from them — "what fraction
+//! of records has key in `[a, b]`?" is the question a query optimiser
+//! asks per predicate, thousands of times per planning session. This
+//! crate is that read path, opened as a first-class subsystem: it
+//! compiles a built [`WaveletHistogram`] into an immutable,
+//! query-optimized form and answers point and range estimates in
+//! `O(log k)` per query with **no allocation and no hashing**, single or
+//! batched.
+//!
+//! ## The compiled form
+//!
+//! A `k`-term Haar representation reconstructs to a *step function*: each
+//! retained detail coefficient changes the estimate only at its dyadic
+//! block's start, midpoint, and end. [`CompiledHistogram::compile`]
+//! prunes the error tree down to those at most `3k + 1` breakpoints
+//! (`ErrorTree::segments` in `wh-wavelet`) and lays the result out as
+//! three parallel arrays:
+//!
+//! ```text
+//! starts:  [0,      s₁,     s₂,    …]   segment start keys, ascending
+//! values:  [v₀,     v₁,     v₂,    …]   estimated frequency per key
+//! prefix:  [0,      Σ₀,     Σ₀₊₁,  …]   cumulative estimate before the segment
+//! ```
+//!
+//! A point estimate is one binary search (`values[i]`); a cumulative
+//! estimate is the same search plus one fused multiply-add
+//! (`prefix[i] + values[i]·(x − starts[i] + 1)`); a range sum is two
+//! cumulative estimates. Everything is immutable after compilation, so a
+//! [`CompiledHistogram`] is `Sync` and a thread-per-core server can share
+//! one instance by reference with zero coordination.
+//!
+//! ## Batched serving
+//!
+//! Heavy traffic arrives in batches, and adjacent queries touch adjacent
+//! segments. [`CompiledHistogram::range_sum_batch_into`] exploits that:
+//! it radix-sorts the batch's query endpoints (a stream-consumed LSD
+//! counting sort whose buffers live in a caller-held [`BatchScratch`]),
+//! then resolves every endpoint in **one monotone galloping walk** over
+//! the segment array — `O(q + k)` segment probes for the whole batch
+//! instead of `O(q log k)` independent binary searches — and is
+//! **bit-identical** to asking the queries one at a time.
+//!
+//! ## Example
+//!
+//! ```
+//! use wh_core::WaveletHistogram;
+//! use wh_query::{BatchScratch, CompiledHistogram};
+//! use wh_wavelet::Domain;
+//!
+//! // A tiny histogram: u = 8, average 16/√8 ⇒ two records per key.
+//! let domain = Domain::new(3).unwrap();
+//! let hist = WaveletHistogram::new(domain, [(0, 16.0 / 8f64.sqrt())]);
+//! let compiled = CompiledHistogram::compile(&hist);
+//!
+//! assert!((compiled.point_estimate(5) - 2.0).abs() < 1e-9);
+//! assert!((compiled.range_sum(2, 5) - 8.0).abs() < 1e-9);
+//! assert!((compiled.selectivity(0, 3, 16) - 0.5).abs() < 1e-9);
+//!
+//! // The batched path answers the same queries bit-identically.
+//! let queries = [(2, 5), (0, 3), (7, 7)];
+//! let mut scratch = BatchScratch::new();
+//! let mut out = [0.0; 3];
+//! compiled.range_sum_batch_into(&queries, &mut scratch, &mut out);
+//! for (&(lo, hi), &batched) in queries.iter().zip(&out) {
+//!     assert_eq!(batched.to_bits(), compiled.range_sum(lo, hi).to_bits());
+//! }
+//! ```
+//!
+//! The full build→serve dataflow across the workspace is described in
+//! `docs/architecture.md` at the repository root.
+
+mod batch;
+mod compiled;
+
+pub use batch::BatchScratch;
+pub use compiled::CompiledHistogram;
+
+// Re-exported so callers of this crate can name the input type without
+// depending on `wh-core` directly.
+pub use wh_core::WaveletHistogram;

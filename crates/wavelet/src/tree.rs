@@ -117,6 +117,102 @@ impl ErrorTree {
         sum
     }
 
+    /// Estimated cumulative frequency of keys `0..=x` in `O(log u)`.
+    ///
+    /// Unlike [`Self::range_sum`], which scans all `k` retained
+    /// coefficients, this walks only the root-to-leaf path of `x`: a
+    /// detail coefficient whose dyadic block lies entirely inside or
+    /// entirely outside `[0, x]` contributes nothing to the cumulative sum
+    /// (its block sums to zero), so only the `log u` blocks *straddling*
+    /// `x` — exactly the path nodes — matter. This is the primitive the
+    /// query-serving compiler (`wh-query`) checks itself against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is outside the domain.
+    pub fn prefix_sum(&self, x: u64) -> f64 {
+        assert!(self.domain.contains(x), "key {x} outside {}", self.domain);
+        let log_u = self.domain.log_u();
+        let mut sum = self
+            .coefs
+            .get(&0)
+            .map_or(0.0, |w| w * ((x + 1) as f64) / self.domain.u_f64().sqrt());
+        for j in 0..log_u {
+            let block_log = log_u - j;
+            let slot = (1u64 << j) + (x >> block_log);
+            if let Some(&w) = self.coefs.get(&slot) {
+                let scale = 1.0 / ((1u64 << block_log) as f64).sqrt();
+                let block_lo = (x >> block_log) << block_log;
+                let half = 1u64 << (block_log - 1);
+                let mid = block_lo + half;
+                // Keys ≤ x in the left half contribute −scale·w each, keys
+                // ≤ x in the right half +scale·w each.
+                let contrib = if x < mid {
+                    -((x - block_lo + 1) as f64)
+                } else {
+                    (x - mid + 1) as f64 - half as f64
+                };
+                sum += w * scale * contrib;
+            }
+        }
+        sum
+    }
+
+    /// The piecewise-constant reconstruction as `(start, value)` segments.
+    ///
+    /// A `k`-term wavelet representation reconstructs to a step function:
+    /// each retained detail coefficient changes the estimate only at its
+    /// dyadic block's start, midpoint, and end. This method prunes the
+    /// error tree down to those breakpoints and returns the segments in
+    /// ascending key order — segment `i` covers keys
+    /// `[start_i, start_{i+1})` (the last runs to `u`) with the constant
+    /// estimated frequency `value_i`. At most `3k + 1` segments are
+    /// returned (adjacent segments with bit-equal values are merged), and
+    /// the first always starts at key 0.
+    ///
+    /// This is the bridge to the query-serving layer: `wh-query` lays the
+    /// segments out with per-segment prefix sums to answer selectivity
+    /// queries in `O(log k)` with no hashing.
+    pub fn segments(&self) -> Vec<(u64, f64)> {
+        let u = self.domain.u();
+        let log_u = self.domain.log_u();
+        let mut cuts: Vec<u64> = Vec::with_capacity(3 * self.coefs.len() + 1);
+        cuts.push(0);
+        for &slot in self.coefs.keys() {
+            if slot == 0 {
+                continue;
+            }
+            let (j, k) = slot_level(slot).expect("non-root slot");
+            let block_log = log_u - j;
+            let block_lo = k << block_log;
+            let mid = block_lo + (1u64 << (block_log - 1));
+            let end = block_lo + (1u64 << block_log);
+            cuts.push(block_lo);
+            cuts.push(mid);
+            if end < u {
+                cuts.push(end);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut segs: Vec<(u64, f64)> = Vec::with_capacity(cuts.len());
+        for &c in &cuts {
+            let v = self.point_estimate(c);
+            // The reconstruction is constant between consecutive cuts, so
+            // bit-equal adjacent values mean one wider segment. (Bitwise,
+            // not `==`: merging +0.0 into −0.0 would change which bit
+            // pattern a key's estimate reports.)
+            if segs
+                .last()
+                .is_some_and(|&(_, last)| last.to_bits() == v.to_bits())
+            {
+                continue;
+            }
+            segs.push((c, v));
+        }
+        segs
+    }
+
     /// Reconstructs the full estimated frequency vector.
     ///
     /// Materialises `u` values; intended for small domains (tests, SSE).
@@ -206,6 +302,75 @@ mod tests {
         }
         let total: f64 = recon.iter().sum();
         assert!(close(tree.range_sum(0, 63), total));
+    }
+
+    #[test]
+    fn prefix_sum_matches_range_sum_full_and_truncated() {
+        let v: Vec<f64> = (0..64).map(|i| ((i * 13) % 29) as f64).collect();
+        let (full, _) = full_tree(&v);
+        let domain = Domain::new(6).unwrap();
+        let w = forward(&v);
+        let top =
+            crate::select::top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), 7);
+        let truncated = ErrorTree::new(domain, top.iter().map(|e| (e.slot, e.value)));
+        for tree in [&full, &truncated] {
+            for x in 0..64u64 {
+                let got = tree.prefix_sum(x);
+                let want = tree.range_sum(0, x);
+                assert!(close(got, want), "x={x}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_cover_the_reconstruction() {
+        let v: Vec<f64> = (0..64)
+            .map(|i| if i % 9 == 0 { 50.0 } else { 2.0 })
+            .collect();
+        let domain = Domain::new(6).unwrap();
+        let w = forward(&v);
+        for k in [0usize, 1, 5, 64] {
+            let top = crate::select::top_k_magnitude(
+                w.iter().enumerate().map(|(s, &c)| (s as u64, c)),
+                k,
+            );
+            let tree = ErrorTree::new(domain, top.iter().map(|e| (e.slot, e.value)));
+            let segs = tree.segments();
+            assert!(!segs.is_empty());
+            assert_eq!(segs[0].0, 0, "first segment starts at key 0");
+            assert!(
+                segs.len() <= 3 * tree.len() + 1,
+                "k={k}: {} segs",
+                segs.len()
+            );
+            for pair in segs.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "starts strictly increasing");
+                assert_ne!(
+                    pair[0].1.to_bits(),
+                    pair[1].1.to_bits(),
+                    "adjacent bit-equal values merged"
+                );
+            }
+            // Every key's segment value equals the reconstruction.
+            let recon = tree.reconstruct();
+            for x in 0..64u64 {
+                let i = segs.partition_point(|&(s, _)| s <= x) - 1;
+                assert!(
+                    close(segs[i].1, recon[x as usize]),
+                    "k={k} x={x}: {} vs {}",
+                    segs[i].1,
+                    recon[x as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_segments_and_prefix() {
+        let domain = Domain::new(5).unwrap();
+        let tree = ErrorTree::new(domain, std::iter::empty());
+        assert_eq!(tree.segments(), vec![(0, 0.0)]);
+        assert_eq!(tree.prefix_sum(31), 0.0);
     }
 
     #[test]

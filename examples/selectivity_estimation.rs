@@ -3,6 +3,12 @@
 //! a query optimiser asks "what fraction of records has key in [a, b]?"
 //! and the histogram answers from k coefficients instead of a scan.
 //!
+//! This example runs the full build→serve dataflow: build the histogram
+//! on the MapReduce engine, **compile** it into the `wh-query` serving
+//! form, then answer predicates one at a time and as a batch (the two
+//! paths are bit-identical; the batch path is how a serving tier handles
+//! heavy traffic). See `docs/architecture.md` for the subsystem map.
+//!
 //! ```text
 //! cargo run --release --example selectivity_estimation
 //! ```
@@ -10,6 +16,7 @@
 use wavelet_hist::builders::{HistogramBuilder, TwoLevelS};
 use wavelet_hist::data::{DatasetBuilder, Distribution};
 use wavelet_hist::mapreduce::ClusterConfig;
+use wavelet_hist::query::{BatchScratch, CompiledHistogram};
 use wavelet_hist::wavelet::Domain;
 
 fn main() {
@@ -27,10 +34,19 @@ fn main() {
     let result = TwoLevelS::new(8e-3, 1).build(&dataset, &cluster, 40);
     let hist = &result.histogram;
     println!(
-        "histogram built: {} coefficients, {} bytes communicated, {:.1}s simulated\n",
+        "histogram built: {} coefficients, {} bytes communicated, {:.1}s simulated",
         hist.len(),
         result.metrics.total_comm_bytes(),
         result.metrics.sim_time_s
+    );
+
+    // …compile it for serving (one-time; queries never touch the
+    // coefficient set again)…
+    let compiled = CompiledHistogram::compile(hist);
+    println!(
+        "compiled for serving: {} piecewise-constant segments, estimated total {:.0}\n",
+        compiled.num_segments(),
+        compiled.total_estimate()
     );
 
     // …then answer many range predicates against ground truth.
@@ -53,19 +69,30 @@ fn main() {
         (u - 4_096, u - 1),
     ];
 
+    // Serve the whole predicate list as one batch — endpoints sorted
+    // once, segments walked once. A warm serving loop reuses the scratch
+    // and output buffers, so nothing here allocates per batch.
+    let mut scratch = BatchScratch::new();
+    let mut estimates = vec![0.0; predicates.len()];
+    compiled.selectivity_batch_into(&predicates, n, &mut scratch, &mut estimates);
+
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12}",
         "lo", "hi", "true sel.", "est. sel.", "abs. error"
     );
     let mut worst: f64 = 0.0;
-    for (lo, hi) in predicates {
+    for (&(lo, hi), &e) in predicates.iter().zip(&estimates) {
         let t = true_sel(lo, hi);
-        let e = hist.selectivity(lo, hi, n);
         worst = worst.max((t - e).abs());
         println!(
             "{lo:>10} {hi:>10} {t:>12.6} {e:>12.6} {:>12.6}",
             (t - e).abs()
         );
+        // The batch answered exactly what single-query serving would.
+        assert_eq!(e.to_bits(), compiled.selectivity(lo, hi, n).to_bits());
+        // …which is the histogram's own estimate, up to segment-walk
+        // float association.
+        assert!((e - hist.selectivity(lo, hi, n)).abs() < 1e-9);
     }
     println!("\nworst absolute selectivity error: {worst:.6}");
     println!(

@@ -35,6 +35,9 @@ pub use wh_topk as topk;
 /// Haar wavelet machinery (transforms, error tree, selection, SSE, 2-D).
 pub use wh_wavelet as wavelet;
 
+/// The query-serving layer (compiled histograms, batched selectivity).
+pub use wh_query as query;
+
 /// The histogram builders.
 pub use wh_core::builders;
 /// SSE evaluation against exact ground truth.
@@ -42,3 +45,4 @@ pub use wh_core::evaluate;
 /// Two-dimensional histograms.
 pub use wh_core::twod;
 pub use wh_core::{BuildResult, HistogramBuilder, WaveletHistogram};
+pub use wh_query::{BatchScratch, CompiledHistogram};

@@ -382,6 +382,22 @@ proptest! {
         );
     }
 
+    /// Satellite (PR 5): the min-rebased counting path — a run whose keys
+    /// live in a narrow `[lo, hi]` band far from zero, the shape every
+    /// partition of a range-partitioned job hands the sorter — still
+    /// produces the identical permutation as the stable comparison sort,
+    /// ties (split, arrival) included, for any base offset and span.
+    #[test]
+    fn rebased_radix_sort_matches_comparison(
+        base in 0u64..u64::MAX - (1 << 20),
+        span in 1u64..(1 << 20),
+        raw in prop::collection::vec(0u64..u64::MAX, 49..400),
+    ) {
+        assert_radix_sort_matches::<u64>(
+            raw.iter().map(|&x| base + x % span).collect(),
+        );
+    }
+
     /// Satellite (PR 3): the dense-domain combine table and the radix
     /// spill sort are byte-identical to the hash/comparison paths on
     /// random jobs — outputs *and* metrics — including under streaming
