@@ -1,4 +1,4 @@
-//! Runs the fixed engine-benchmark suite and emits `BENCH_PR5.json`.
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR6.json`.
 //!
 //! ```text
 //! cargo run -p wh-bench --release --bin bench_suite                 # full suite
@@ -6,7 +6,7 @@
 //! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # all sections → committed file
 //! cargo run -p wh-bench --release --bin bench_suite -- \
 //!     --fast --threads 4 --out bench-current.json \
-//!     --check BENCH_PR5.json                                        # one CI matrix leg
+//!     --check BENCH_PR6.json                                        # one CI matrix leg
 //! ```
 //!
 //! `--threads N` pins the engines' map and reduce parallelism on both
@@ -22,14 +22,20 @@
 //! the run summary without downloading the report artifact. `--baseline`
 //! runs the full suite plus the fast suite unpinned and at 1 and 4
 //! threads, writing all four sections — that is how the committed
-//! `BENCH_PR5.json` is produced.
+//! `BENCH_PR6.json` is produced.
+//!
+//! On a `--check` run with 4 or more pinned threads, `serve_throughput`
+//! must additionally clear the absolute
+//! [`SERVE_T4_FLOOR_ESTIMATES_PER_S`] serving-rate floor — the relative
+//! gate alone would let the serving tier and its reference path get
+//! slower together.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wh_bench::suite::{
     check_regression, render_delta_table, render_json, run_suite, section_for, BenchRecord,
-    SuiteOptions,
+    SuiteOptions, SERVE_T4_FLOOR_ESTIMATES_PER_S,
 };
 
 fn usage() -> ! {
@@ -84,7 +90,7 @@ fn main() -> ExitCode {
     let mut baseline_mode = false;
     let mut threads = 0usize;
     let mut repeats: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_PR5.json");
+    let mut out = PathBuf::from("BENCH_PR6.json");
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -197,6 +203,33 @@ fn main() -> ExitCode {
                     eprintln!("REGRESSION: {e}");
                 }
                 return ExitCode::FAILURE;
+            }
+        }
+        // The 4-thread gate leg also holds the serving tier to an
+        // absolute rate: relative cost can stay flat while both sides
+        // rot, but a deployment below this floor has lost the batched
+        // fast path outright.
+        if threads >= 4 {
+            let serve = current.iter().find(|r| r.name == "serve_throughput");
+            match serve {
+                Some(r) if r.items_per_s < SERVE_T4_FLOOR_ESTIMATES_PER_S => {
+                    eprintln!(
+                        "REGRESSION: serve_throughput served {:.2}M estimates/s on {threads} \
+                         threads — below the {:.0}M floor",
+                        r.items_per_s / 1e6,
+                        SERVE_T4_FLOOR_ESTIMATES_PER_S / 1e6
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(r) => eprintln!(
+                    "serve_throughput: {:.2}M estimates/s clears the {:.0}M floor",
+                    r.items_per_s / 1e6,
+                    SERVE_T4_FLOOR_ESTIMATES_PER_S / 1e6
+                ),
+                None => {
+                    eprintln!("REGRESSION: serve_throughput missing from the checked run");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

@@ -1,7 +1,7 @@
-//! The fixed benchmark suite behind `BENCH_PR5.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR6.json` and the CI
 //! regression gate.
 //!
-//! Nine benchmarks, each timing the **optimized** side against a
+//! Ten benchmarks, each timing the **optimized** side against a
 //! baseline measured in the same process and run:
 //!
 //! | name | optimized side | baseline side |
@@ -15,6 +15,7 @@
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
 //! | `query_throughput` | batched selectivity serving (`wh-query`) | one-at-a-time serving |
+//! | `serve_throughput` | the sharded, epoch-swapped tier (`wh-serve`) | direct batched serving on the unsharded compiled form |
 //!
 //! Because both sides run on the same machine moments apart, the
 //! per-bench `relative_cost` (`wall_s / reference_wall_s`) is portable
@@ -38,6 +39,7 @@ use wh_data::DatasetBuilder;
 use wh_mapreduce::wire::WKey;
 use wh_mapreduce::{radix, run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
 use wh_query::{BatchScratch, CompiledHistogram};
+use wh_serve::ServeTier;
 use wh_wavelet::Domain;
 
 /// How the suite is scaled.
@@ -131,6 +133,7 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
         end_to_end_send_v(opts),
         end_to_end_two_level(opts),
         query_throughput(opts),
+        serve_throughput(opts),
     ]
 }
 
@@ -604,6 +607,127 @@ fn query_throughput(opts: SuiteOptions) -> BenchRecord {
     }
 }
 
+/// Absolute throughput floor CI enforces on `serve_throughput` on the
+/// 4-thread gate leg (estimates per second across all serving threads).
+/// Unlike the relative-cost gate this is machine-sensitive by design:
+/// the tier's whole point is raw serving rate, and a deployment that
+/// cannot clear tens of millions of estimates per second on four cores
+/// has lost the batched fast path somewhere (per-query dispatch, a
+/// snapshot clone per batch, a lock on the read path, …).
+pub const SERVE_T4_FLOOR_ESTIMATES_PER_S: f64 = 1.0e7;
+
+/// The serving **tier** end to end: the same closed-loop, thread-per-core
+/// deployment as [`query_throughput`]'s optimized side, but pushed
+/// through `wh-serve` — dataset lookup in an epoch snapshot, key-range
+/// routing across one shard per serving thread, per-shard galloping
+/// walks, and the fallible (`try_*`) query path — instead of calling the
+/// unsharded [`CompiledHistogram`] directly. The reference side *is* that
+/// direct batched serving, so the ratio isolates exactly what the tier
+/// adds: snapshot acquisition (one atomic epoch load per batch on the
+/// warm path), shard routing, and error plumbing. Answers must be
+/// bit-identical; the tier's absolute rate also feeds the
+/// [`SERVE_T4_FLOOR_ESTIMATES_PER_S`] gate.
+///
+/// Each thread is a closed-loop load generator: it owns one
+/// [`ServeHandle`](wh_serve::ServeHandle) (scratch and cached snapshot
+/// recycled across batches, like a warm server thread) and issues its
+/// next batch the moment the previous one is answered, for a fixed
+/// number of rounds per timed repetition.
+fn serve_throughput(opts: SuiteOptions) -> BenchRecord {
+    let (log_u, k, num_queries) = if opts.fast {
+        (18u32, 16_384usize, 150_000usize)
+    } else {
+        (22, 65_536, 1_000_000)
+    };
+    /// Batches each generator thread issues per timed repetition.
+    const ROUNDS: usize = 4;
+    let domain = Domain::new(log_u).expect("valid log_u");
+    let u = domain.u();
+
+    // A heavy-tailed frequency vector (different scramble stream from
+    // `query_throughput`, so the two benches are independent workloads).
+    let freq: Vec<f64> = (0..u)
+        .map(|x| {
+            let z = scramble(x ^ 0x5e57e);
+            (z % 89) as f64 + if z % 997 == 0 { 3_000.0 } else { 0.0 }
+        })
+        .collect();
+    let records = freq.iter().sum::<f64>() as u64;
+    let w = wh_wavelet::haar::forward(&freq);
+    let top =
+        wh_wavelet::select::top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+    let hist = WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)));
+    let compiled = CompiledHistogram::compile(&hist);
+
+    let queries: Vec<(u64, u64)> = (0..num_queries as u64)
+        .map(|i| {
+            let lo = scramble(i ^ 0xd15c0) % u;
+            let len = scramble(i ^ 0x00c0ffee) % (u / 64).max(1);
+            (lo, (lo + len).min(u - 1))
+        })
+        .collect();
+
+    let threads = opts.threads.max(1);
+    let chunk = num_queries.div_ceil(threads);
+    let compiled_ref = &compiled;
+
+    // Reference: direct batched selectivity over the unsharded compiled
+    // form — the fast path the tier must not give back.
+    let mut scratches: Vec<BatchScratch> = (0..threads).map(|_| BatchScratch::new()).collect();
+    let mut direct_out = vec![0.0f64; num_queries];
+    let (ref_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for ((qs, outs), scratch) in queries
+                .chunks(chunk)
+                .zip(direct_out.chunks_mut(chunk))
+                .zip(scratches.iter_mut())
+            {
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        compiled_ref.selectivity_batch_into(qs, records, scratch, outs);
+                    }
+                });
+            }
+        });
+    });
+
+    // Optimized: the tier, one shard per serving thread, each thread
+    // driving its own handle in a closed loop.
+    let tier = ServeTier::new(threads);
+    tier.publish(0, &compiled, records);
+    let mut handles: Vec<_> = (0..threads).map(|_| tier.handle()).collect();
+    let mut tier_out = vec![0.0f64; num_queries];
+    let (wall_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for ((qs, outs), handle) in queries
+                .chunks(chunk)
+                .zip(tier_out.chunks_mut(chunk))
+                .zip(handles.iter_mut())
+            {
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        handle
+                            .try_selectivity_batch_into(0, qs, outs)
+                            .expect("bench queries are valid");
+                    }
+                });
+            }
+        });
+    });
+
+    let outputs_match = direct_out
+        .iter()
+        .zip(&tier_out)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    BenchRecord {
+        name: "serve_throughput",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: (ROUNDS * num_queries) as f64 / wall_s.max(1e-12),
+        outputs_match,
+    }
+}
+
 /// Section name a `(fast, threads)` combination's records live under in
 /// the report. Full-scale runs and fast (CI smoke) runs are **not**
 /// comparable to each other — fast workloads are far less shuffle-bound —
@@ -642,7 +766,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR5.json`
+/// Renders the machine-readable suite report (the `BENCH_PR6.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -651,7 +775,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR5\",\n");
+    out.push_str("  \"suite\": \"PR6\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -869,7 +993,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR5".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR6".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -981,7 +1105,7 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 9);
+        assert_eq!(records.len(), 10);
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

@@ -122,7 +122,7 @@ impl<K: Ord + Clone, V> DenseTable<K, V> {
 /// the pair that clears it parks its key for that group. Counts and
 /// positions stay far below the tag bit (partition sizes are asserted
 /// against it).
-const FIRST_ARRIVAL: u32 = 1 << 31;
+pub(crate) const FIRST_ARRIVAL: u32 = 1 << 31;
 
 /// Flat-array reduce-side grouper for a bounded key domain: the dense
 /// counterpart of the sort-at-reduce and merge strategies. One per reduce

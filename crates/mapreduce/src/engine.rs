@@ -607,6 +607,7 @@ where
         strategy,
         codec: key_codec,
         domain_hint: engine.key_domain_hint,
+        dense_pair_cap: crate::dense::FIRST_ARRIVAL as usize,
     };
     let contexts: Vec<ReduceContext<R>> = if threads <= 1 {
         let mut scratch = ReduceScratch::new();
@@ -708,6 +709,13 @@ struct ReducePlan<K> {
     strategy: ReduceStrategy,
     codec: Option<fn(&K) -> u64>,
     domain_hint: Option<u64>,
+    /// Pair count at which a `DenseReduce` partition is re-planned to
+    /// sort-at-reduce: the dense table tags group indices into `u32`
+    /// slots, so a partition holding `FIRST_ARRIVAL` (2³¹) or more pairs
+    /// would overflow its indexing. Production plans use exactly that
+    /// constant; tests shrink it to exercise the fallback without 2³¹
+    /// pairs of memory.
+    dense_pair_cap: usize,
 }
 
 impl<K> Clone for ReducePlan<K> {
@@ -751,6 +759,15 @@ impl<K, V> ReduceScratch<K, V> {
 ///
 /// The strategy that ran is recorded on the context, which the stitching
 /// loop folds into [`RunMetrics::reduce_strategies`].
+///
+/// `DenseReduce` is re-planned here, per partition, when the partition's
+/// pair count reaches [`ReducePlan::dense_pair_cap`]: the dense table's
+/// tagged-u32 indexing cannot address that many pairs, so the partition
+/// falls back to sort-at-reduce — both strategies consume unsorted
+/// split-ordered runs and deliver the identical key-group sequence, so
+/// the downgrade changes only the execution route. The strategy recorded
+/// on the context (and thus in [`RunMetrics::reduce_strategies`]) is the
+/// one that actually ran.
 fn reduce_partition<K, V, R>(
     runs: Vec<Vec<(K, V)>>,
     plan: ReducePlan<K>,
@@ -767,23 +784,18 @@ fn reduce_partition<K, V, R>(
             let hint = plan
                 .domain_hint
                 .expect("dense reduce requires a key_domain_hint");
-            scratch.dense.reduce_runs(runs, codec, hint, reduce, rctx);
+            let total: usize = runs.iter().map(Vec::len).sum();
+            if total >= plan.dense_pair_cap {
+                rctx.strategy = Some(ReduceStrategy::SortAtReduce);
+                sort_at_reduce(runs, total, codec, scratch, reduce, rctx);
+            } else {
+                scratch.dense.reduce_runs(runs, codec, hint, reduce, rctx);
+            }
         }
         ReduceStrategy::SortAtReduce => {
             let codec = plan.codec.expect("sort-at-reduce requires a key codec");
             let total: usize = runs.iter().map(Vec::len).sum();
-            let mut all = match runs.len() {
-                1 => runs.into_iter().next().expect("one run"),
-                _ => {
-                    let mut all = Vec::with_capacity(total);
-                    for run in runs {
-                        all.extend(run);
-                    }
-                    all
-                }
-            };
-            sort_pairs_with(&mut all, codec, &mut scratch.radix);
-            reduce_sorted_run(all, reduce, rctx);
+            sort_at_reduce(runs, total, codec, scratch, reduce, rctx);
         }
         ReduceStrategy::Merge => match runs.len() {
             0 => {}
@@ -794,6 +806,34 @@ fn reduce_partition<K, V, R>(
             _ => merge_runs(runs, reduce, rctx),
         },
     }
+}
+
+/// The sort-at-reduce body: one stable radix sort of the split-ordered
+/// run concatenation, then adjacent grouping — shared by the
+/// `SortAtReduce` strategy and the dense-overflow fallback.
+fn sort_at_reduce<K, V, R>(
+    runs: Vec<Vec<(K, V)>>,
+    total: usize,
+    codec: fn(&K) -> u64,
+    scratch: &mut ReduceScratch<K, V>,
+    reduce: &ReduceDyn<K, V, R>,
+    rctx: &mut ReduceContext<R>,
+) where
+    K: Ord,
+{
+    let mut all = match runs.len() {
+        0 => Vec::new(),
+        1 => runs.into_iter().next().expect("one run"),
+        _ => {
+            let mut all = Vec::with_capacity(total);
+            for run in runs {
+                all.extend(run);
+            }
+            all
+        }
+    };
+    sort_pairs_with(&mut all, codec, &mut scratch.radix);
+    reduce_sorted_run(all, reduce, rctx);
 }
 
 /// Groups adjacent equal keys of one already-sorted run — no comparisons
@@ -1003,6 +1043,7 @@ mod tests {
             strategy,
             codec: Some(|k: &u32| u64::from(*k)),
             domain_hint: Some(1 << 20),
+            dense_pair_cap: crate::dense::FIRST_ARRIVAL as usize,
         };
         reduce_partition(runs, plan, &mut scratch, &reduce, &mut rctx);
         assert_eq!(rctx.strategy, Some(strategy), "strategy recorded");
@@ -1113,12 +1154,74 @@ mod tests {
                     strategy,
                     codec: Some(|k: &u32| u64::from(*k)),
                     domain_hint: Some(64),
+                    dense_pair_cap: crate::dense::FIRST_ARRIVAL as usize,
                 };
                 reduce_partition(runs, plan, &mut scratch, &reduce, &mut rctx);
                 assert_eq!(rctx.outputs, want, "round {round}, {strategy:?}");
                 assert_eq!(rctx.strategy, Some(strategy));
             }
         }
+    }
+
+    /// Drives one partition through a `DenseReduce` plan with the given
+    /// pair cap and returns the outputs plus the strategy that ran.
+    fn dense_with_cap(
+        runs: Vec<Vec<(u32, u32)>>,
+        cap: usize,
+    ) -> (Vec<(u32, Vec<u32>)>, Option<ReduceStrategy>) {
+        let mut rctx = ReduceContext::new();
+        let mut scratch = ReduceScratch::new();
+        let reduce = |k: &u32, vs: &[u32], ctx: &mut ReduceContext<(u32, Vec<u32>)>| {
+            ctx.emit((*k, vs.to_vec()));
+        };
+        let plan = ReducePlan {
+            strategy: ReduceStrategy::DenseReduce,
+            codec: Some(|k: &u32| u64::from(*k)),
+            domain_hint: Some(1 << 20),
+            dense_pair_cap: cap,
+        };
+        reduce_partition(runs, plan, &mut scratch, &reduce, &mut rctx);
+        (rctx.outputs, rctx.strategy)
+    }
+
+    #[test]
+    fn dense_overflow_replans_to_sort_at_reduce_at_the_boundary() {
+        // 12 unsorted pairs; the boundary is exclusive below the cap —
+        // `total == cap` is exactly the count the dense table's
+        // tagged-u32 indexing cannot address, so it must re-plan.
+        let runs = || -> Vec<Vec<(u32, u32)>> {
+            vec![
+                vec![(7u32, 0u32), (3, 1), (7, 2), (1, 3), (3, 4), (9, 5)],
+                vec![(3, 6), (7, 7), (1, 8), (2, 9), (9, 10), (3, 11)],
+            ]
+        };
+        let total = 12usize;
+        let (dense_out, ran) = dense_with_cap(runs(), total + 1);
+        assert_eq!(ran, Some(ReduceStrategy::DenseReduce));
+        for (cap, label) in [(total, "total == cap"), (total - 1, "total > cap")] {
+            let (fallback_out, ran) = dense_with_cap(runs(), cap);
+            assert_eq!(
+                ran,
+                Some(ReduceStrategy::SortAtReduce),
+                "{label}: overflow must re-plan, not panic"
+            );
+            assert_eq!(fallback_out, dense_out, "{label}: identical key groups");
+        }
+    }
+
+    #[test]
+    fn production_dense_pair_cap_is_the_tagged_u32_limit() {
+        // The engine plans with exactly the dense table's indexing limit:
+        // the high bit of a u32 slot entry tags first arrivals, leaving
+        // 2³¹ addressable pairs. A partition of that size re-plans; one
+        // pair fewer stays dense (`reduce_runs` asserts
+        // `total < FIRST_ARRIVAL`, kept as defense in depth).
+        assert_eq!(crate::dense::FIRST_ARRIVAL as usize, 1usize << 31);
+        assert_eq!(
+            crate::dense::FIRST_ARRIVAL & (crate::dense::FIRST_ARRIVAL - 1),
+            0,
+            "the tag is a single high bit"
+        );
     }
 
     #[test]

@@ -8,24 +8,28 @@
 //! endpoint prefixes of each range in the same order.
 
 use crate::compiled::CompiledHistogram;
+use crate::error::QueryError;
 
 /// Reusable scratch of the batched query path: the endpoint buffer, its
 /// sort swap space, the digit histograms, and the per-endpoint prefix
 /// estimates. One per serving thread, recycled across batches — after
 /// the first call at a given batch size, batched serving allocates
-/// nothing.
+/// nothing. The scratch carries no per-histogram state: every batched
+/// call rebuilds the endpoint and prefix buffers from its own inputs, so
+/// one scratch serves any number of different compiled histograms (the
+/// serve tier recycles it across shard snapshots).
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     /// `(key, tag)` endpoints; the tag's low bit distinguishes a range's
     /// `lo − 1` endpoint (0) from its `hi` endpoint (1), the rest is the
     /// query index.
-    endpoints: Vec<(u64, u32)>,
+    pub(crate) endpoints: Vec<(u64, u32)>,
     /// Ping-pong buffer of the LSD endpoint sort.
     swap: Vec<(u64, u32)>,
     /// Per-pass digit histograms of the endpoint sort.
     counts: Vec<u32>,
     /// Cumulative estimates indexed by tag.
-    prefixes: Vec<f64>,
+    pub(crate) prefixes: Vec<f64>,
 }
 
 impl BatchScratch {
@@ -35,7 +39,7 @@ impl BatchScratch {
     }
 
     /// Sorts the endpoint buffer ascending by key. See [`sort_endpoints`].
-    fn sort(&mut self) {
+    pub(crate) fn sort(&mut self) {
         sort_endpoints(&mut self.endpoints, &mut self.swap, &mut self.counts);
     }
 }
@@ -129,7 +133,7 @@ fn sort_endpoints(main: &mut Vec<(u64, u32)>, swap: &mut Vec<(u64, u32)>, counts
 /// still pays only `O(log gap)` instead of `O(log k)`.
 ///
 /// Precondition (upheld by the callers): `starts[from] <= x`.
-fn advance(starts: &[u64], from: usize, x: u64) -> usize {
+pub(crate) fn advance(starts: &[u64], from: usize, x: u64) -> usize {
     debug_assert!(starts[from] <= x);
     let mut lo = from;
     let mut step = 1usize;
@@ -147,42 +151,41 @@ fn advance(starts: &[u64], from: usize, x: u64) -> usize {
 
 impl CompiledHistogram {
     /// Answers a batch of inclusive range-sum queries into `out`,
-    /// bit-identical to calling [`Self::range_sum`] per query.
+    /// bit-identical to calling [`Self::try_range_sum`] per query, or
+    /// reports the first malformed query. On `Err`, `out` is untouched.
     ///
     /// The batch's `2q` endpoints are radix-sorted (the LSD counting
     /// sort whose buffers live in `scratch`), then resolved in one
     /// galloping walk over the segment array — `O(q + k)` probes total
     /// versus `O(q log k)` for one-at-a-time serving. `scratch` and
     /// `out` are caller-owned, so a warm serving loop allocates nothing.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `out.len() != queries.len()`, on any invalid query
-    /// (`lo > hi` or `hi` outside the domain), or when the batch exceeds
-    /// `2^30` queries (tag budget).
-    pub fn range_sum_batch_into(
+    pub fn try_range_sum_batch_into(
         &self,
         queries: &[(u64, u64)],
         scratch: &mut BatchScratch,
         out: &mut [f64],
-    ) {
-        assert_eq!(
-            queries.len(),
-            out.len(),
-            "output buffer must match the batch length"
-        );
-        assert!(
-            queries.len() <= 1 << 30,
-            "batch exceeds the 2^30 tag budget"
-        );
+    ) -> Result<(), QueryError> {
+        if queries.len() != out.len() {
+            return Err(QueryError::OutputMismatch {
+                queries: queries.len(),
+                out: out.len(),
+            });
+        }
+        if queries.len() > 1 << 30 {
+            return Err(QueryError::BatchTooLarge {
+                len: queries.len(),
+                max_log2: 30,
+            });
+        }
         scratch.endpoints.clear();
         scratch.endpoints.reserve(2 * queries.len());
         scratch.prefixes.clear();
         scratch.prefixes.resize(2 * queries.len(), 0.0);
-        let domain = self.domain();
         for (q, &(lo, hi)) in queries.iter().enumerate() {
-            assert!(lo <= hi, "empty range [{lo}, {hi}]");
-            assert!(domain.contains(hi), "key {hi} outside {domain}");
+            if lo > hi {
+                return Err(QueryError::EmptyRange { lo, hi });
+            }
+            self.check_key(hi)?;
             let tag = (q as u32) << 1;
             // lo == 0 keeps its prefix slot at the 0.0 the resize wrote —
             // the same value the single-query path uses.
@@ -201,6 +204,27 @@ impl CompiledHistogram {
         for (q, slot) in out.iter_mut().enumerate() {
             *slot = scratch.prefixes[2 * q + 1] - scratch.prefixes[2 * q];
         }
+        Ok(())
+    }
+
+    /// Answers a batch of inclusive range-sum queries into `out`,
+    /// bit-identical to calling [`Self::range_sum`] per query.
+    ///
+    /// Thin wrapper over [`Self::try_range_sum_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != queries.len()`, on any invalid query
+    /// (`lo > hi` or `hi` outside the domain), or when the batch exceeds
+    /// `2^30` queries (tag budget).
+    pub fn range_sum_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) {
+        self.try_range_sum_batch_into(queries, scratch, out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Allocating convenience wrapper over
@@ -212,7 +236,29 @@ impl CompiledHistogram {
     }
 
     /// Answers a batch of selectivity queries relative to `n` records,
+    /// bit-identical to calling [`Self::try_selectivity`] per query, or
+    /// reports the first malformed query. On `Err`, `out` is untouched.
+    pub fn try_selectivity_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        n: u64,
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), QueryError> {
+        if n == 0 {
+            return Err(QueryError::ZeroRecords);
+        }
+        self.try_range_sum_batch_into(queries, scratch, out)?;
+        for slot in out.iter_mut() {
+            *slot = (*slot / n as f64).clamp(0.0, 1.0);
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of selectivity queries relative to `n` records,
     /// bit-identical to calling [`Self::selectivity`] per query.
+    ///
+    /// Thin wrapper over [`Self::try_selectivity_batch_into`].
     ///
     /// # Panics
     ///
@@ -224,16 +270,53 @@ impl CompiledHistogram {
         scratch: &mut BatchScratch,
         out: &mut [f64],
     ) {
-        assert!(n > 0, "selectivity needs a positive record count");
-        self.range_sum_batch_into(queries, scratch, out);
-        for slot in out.iter_mut() {
-            *slot = (*slot / n as f64).clamp(0.0, 1.0);
-        }
+        self.try_selectivity_batch_into(queries, n, scratch, out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Answers a batch of point estimates into `out`, bit-identical to
-    /// calling [`Self::point_estimate`] per key — the same sorted
-    /// galloping walk, resolving segment values instead of prefixes.
+    /// calling [`Self::try_point_estimate`] per key — the same sorted
+    /// galloping walk, resolving segment values instead of prefixes — or
+    /// reports the first malformed key. On `Err`, `out` is untouched
+    /// (every key is validated before the walk writes anything).
+    pub fn try_point_estimate_batch_into(
+        &self,
+        keys: &[u64],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), QueryError> {
+        if keys.len() != out.len() {
+            return Err(QueryError::OutputMismatch {
+                queries: keys.len(),
+                out: out.len(),
+            });
+        }
+        if keys.len() > 1 << 31 {
+            return Err(QueryError::BatchTooLarge {
+                len: keys.len(),
+                max_log2: 31,
+            });
+        }
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(keys.len());
+        for (i, &x) in keys.iter().enumerate() {
+            self.check_key(x)?;
+            scratch.endpoints.push((x, i as u32));
+        }
+        scratch.sort();
+        let starts = self.start_keys();
+        let mut seg = 0usize;
+        for &(x, idx) in scratch.endpoints.iter() {
+            seg = advance(starts, seg, x);
+            out[idx as usize] = self.value_at(seg);
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of point estimates into `out`, bit-identical to
+    /// calling [`Self::point_estimate`] per key.
+    ///
+    /// Thin wrapper over [`Self::try_point_estimate_batch_into`].
     ///
     /// # Panics
     ///
@@ -245,26 +328,8 @@ impl CompiledHistogram {
         scratch: &mut BatchScratch,
         out: &mut [f64],
     ) {
-        assert_eq!(
-            keys.len(),
-            out.len(),
-            "output buffer must match the batch length"
-        );
-        assert!(keys.len() <= 1 << 31, "batch exceeds the 2^31 tag budget");
-        let domain = self.domain();
-        scratch.endpoints.clear();
-        scratch.endpoints.reserve(keys.len());
-        for (i, &x) in keys.iter().enumerate() {
-            assert!(domain.contains(x), "key {x} outside {domain}");
-            scratch.endpoints.push((x, i as u32));
-        }
-        scratch.sort();
-        let starts = self.start_keys();
-        let mut seg = 0usize;
-        for &(x, idx) in scratch.endpoints.iter() {
-            seg = advance(starts, seg, x);
-            out[idx as usize] = self.value_at(seg);
-        }
+        self.try_point_estimate_batch_into(keys, scratch, out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -412,5 +477,85 @@ mod tests {
     fn scratch_is_sync_and_send() {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<BatchScratch>();
+    }
+
+    #[test]
+    fn try_batches_report_errors_and_leave_out_untouched() {
+        use crate::error::QueryError;
+        let compiled = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        let mut scratch = BatchScratch::new();
+        let sentinel = [-7.0, -7.0];
+        let mut out = sentinel;
+
+        let err = compiled
+            .try_range_sum_batch_into(&[(0, 1), (3, 2)], &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, QueryError::EmptyRange { lo: 3, hi: 2 });
+        assert_eq!(out, sentinel);
+
+        let err = compiled
+            .try_range_sum_batch_into(&[(0, 1), (0, 99)], &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::OutOfDomain { key: 99, .. }));
+        assert_eq!(out, sentinel);
+
+        let err = compiled
+            .try_range_sum_batch_into(&[(0, 1)], &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, QueryError::OutputMismatch { queries: 1, out: 2 });
+
+        let err = compiled
+            .try_selectivity_batch_into(&[(0, 1), (1, 2)], 0, &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, QueryError::ZeroRecords);
+        assert_eq!(out, sentinel);
+
+        let err = compiled
+            .try_point_estimate_batch_into(&[0, 99], &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::OutOfDomain { key: 99, .. }));
+        assert_eq!(out, sentinel);
+
+        // The same scratch then serves a valid batch bit-identically —
+        // a failed validation leaves no sticky state behind.
+        compiled
+            .try_range_sum_batch_into(&[(0, 1), (1, 3)], &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out[0].to_bits(), compiled.range_sum(0, 1).to_bits());
+        assert_eq!(out[1].to_bits(), compiled.range_sum(1, 3).to_bits());
+    }
+
+    #[test]
+    fn try_single_queries_match_the_panicking_api() {
+        use crate::error::QueryError;
+        let compiled = compiled_from_signal(&[5.0, 1.0, 0.0, 2.0], 4);
+        assert_eq!(
+            compiled.try_range_sum(1, 3).unwrap().to_bits(),
+            compiled.range_sum(1, 3).to_bits()
+        );
+        assert_eq!(
+            compiled.try_selectivity(0, 2, 8).unwrap().to_bits(),
+            compiled.selectivity(0, 2, 8).to_bits()
+        );
+        assert_eq!(
+            compiled.try_point_estimate(3).unwrap().to_bits(),
+            compiled.point_estimate(3).to_bits()
+        );
+        assert_eq!(
+            compiled.try_prefix_sum(2).unwrap().to_bits(),
+            compiled.prefix_sum(2).to_bits()
+        );
+        assert_eq!(
+            compiled.try_range_sum(2, 1),
+            Err(QueryError::EmptyRange { lo: 2, hi: 1 })
+        );
+        assert_eq!(
+            compiled.try_selectivity(0, 1, 0),
+            Err(QueryError::ZeroRecords)
+        );
+        assert!(matches!(
+            compiled.try_point_estimate(4),
+            Err(QueryError::OutOfDomain { key: 4, .. })
+        ));
     }
 }

@@ -1,5 +1,6 @@
 //! The immutable, query-optimized form of a built wavelet histogram.
 
+use crate::error::QueryError;
 use wh_core::WaveletHistogram;
 use wh_wavelet::Domain;
 
@@ -77,7 +78,7 @@ impl CompiledHistogram {
     /// Index of the segment containing `x` (caller guarantees `x` is in
     /// the domain, so a segment always exists).
     #[inline]
-    fn segment_of(&self, x: u64) -> usize {
+    pub(crate) fn segment_of(&self, x: u64) -> usize {
         self.starts.partition_point(|&s| s <= x) - 1
     }
 
@@ -100,52 +101,117 @@ impl CompiledHistogram {
         self.values[seg]
     }
 
+    /// Per-segment value array, for the shard slicer.
+    #[inline]
+    pub(crate) fn value_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Per-segment prefix array, for the shard slicer.
+    #[inline]
+    pub(crate) fn prefix_slice(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// Checks that `x` lies in the domain, as a value.
+    #[inline]
+    pub(crate) fn check_key(&self, x: u64) -> Result<(), QueryError> {
+        if self.domain.contains(x) {
+            Ok(())
+        } else {
+            Err(QueryError::OutOfDomain {
+                key: x,
+                domain: self.domain,
+            })
+        }
+    }
+
+    /// Estimated frequency of the (0-based) key `x`, or the reason the
+    /// query is malformed. This is the serve-path entry point: a bad key
+    /// is an error value, never a panic.
+    pub fn try_point_estimate(&self, x: u64) -> Result<f64, QueryError> {
+        self.check_key(x)?;
+        Ok(self.values[self.segment_of(x)])
+    }
+
+    /// Estimated cumulative frequency of keys `0..=x`, or the reason the
+    /// query is malformed.
+    pub fn try_prefix_sum(&self, x: u64) -> Result<f64, QueryError> {
+        self.check_key(x)?;
+        Ok(self.prefix_at(self.segment_of(x), x))
+    }
+
+    /// Estimated total frequency of keys in `[lo, hi]` (0-based,
+    /// inclusive) — two cumulative estimates — or the reason the query is
+    /// malformed.
+    pub fn try_range_sum(&self, lo: u64, hi: u64) -> Result<f64, QueryError> {
+        if lo > hi {
+            return Err(QueryError::EmptyRange { lo, hi });
+        }
+        let hi_p = self.try_prefix_sum(hi)?;
+        let lo_p = if lo == 0 {
+            0.0
+        } else {
+            self.try_prefix_sum(lo - 1)?
+        };
+        Ok(hi_p - lo_p)
+    }
+
+    /// Estimated selectivity of `[lo, hi]` relative to `n` records,
+    /// clamped to `[0, 1]`, or the reason the query is malformed.
+    pub fn try_selectivity(&self, lo: u64, hi: u64, n: u64) -> Result<f64, QueryError> {
+        if n == 0 {
+            return Err(QueryError::ZeroRecords);
+        }
+        Ok((self.try_range_sum(lo, hi)? / n as f64).clamp(0.0, 1.0))
+    }
+
     /// Estimated frequency of the (0-based) key `x`.
+    ///
+    /// Thin wrapper over [`Self::try_point_estimate`]; prefer the `try_`
+    /// variant when the query comes from traffic you do not control.
     ///
     /// # Panics
     ///
     /// Panics when `x` is outside the domain.
     pub fn point_estimate(&self, x: u64) -> f64 {
-        assert!(self.domain.contains(x), "key {x} outside {}", self.domain);
-        self.values[self.segment_of(x)]
+        self.try_point_estimate(x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Estimated cumulative frequency of keys `0..=x`.
+    ///
+    /// Thin wrapper over [`Self::try_prefix_sum`].
     ///
     /// # Panics
     ///
     /// Panics when `x` is outside the domain.
     pub fn prefix_sum(&self, x: u64) -> f64 {
-        assert!(self.domain.contains(x), "key {x} outside {}", self.domain);
-        self.prefix_at(self.segment_of(x), x)
+        self.try_prefix_sum(x).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Estimated total frequency of keys in `[lo, hi]` (0-based,
     /// inclusive) — two cumulative estimates.
     ///
+    /// Thin wrapper over [`Self::try_range_sum`].
+    ///
     /// # Panics
     ///
     /// Panics when `lo > hi` or `hi` is outside the domain.
     pub fn range_sum(&self, lo: u64, hi: u64) -> f64 {
-        assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        let hi_p = self.prefix_sum(hi);
-        let lo_p = if lo == 0 {
-            0.0
-        } else {
-            self.prefix_sum(lo - 1)
-        };
-        hi_p - lo_p
+        self.try_range_sum(lo, hi).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Estimated selectivity of `[lo, hi]` relative to `n` records,
     /// clamped to `[0, 1]`.
     ///
+    /// Thin wrapper over [`Self::try_selectivity`].
+    ///
     /// # Panics
     ///
     /// Panics when `n == 0`, `lo > hi`, or `hi` is outside the domain.
     pub fn selectivity(&self, lo: u64, hi: u64, n: u64) -> f64 {
-        assert!(n > 0, "selectivity needs a positive record count");
-        (self.range_sum(lo, hi) / n as f64).clamp(0.0, 1.0)
+        self.try_selectivity(lo, hi, n)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 

@@ -69,14 +69,32 @@
 //! }
 //! ```
 //!
+//! ## Fallible serving, and shards
+//!
+//! Every query method has a `try_*` variant returning
+//! `Result<_, QueryError>`; the panicking methods are thin wrappers over
+//! them. Code that serves traffic it does not control — the `wh-serve`
+//! tier above this crate — uses only the `try_*` path, so a malformed
+//! query is an error value instead of a downed serving thread.
+//!
+//! [`ShardedHistogram`] partitions a compiled histogram into key-range
+//! shards by *slicing* the compiled arrays bitwise; routed, fanned-out,
+//! merged answers stay bit-identical to the unsharded form (see
+//! `shard.rs` for why slicing, not per-shard compilation, is what makes
+//! that possible).
+//!
 //! The full build→serve dataflow across the workspace is described in
 //! `docs/architecture.md` at the repository root.
 
 mod batch;
 mod compiled;
+mod error;
+mod shard;
 
 pub use batch::BatchScratch;
 pub use compiled::CompiledHistogram;
+pub use error::QueryError;
+pub use shard::{HistogramShard, ShardedHistogram};
 
 // Re-exported so callers of this crate can name the input type without
 // depending on `wh-core` directly.

@@ -1,0 +1,525 @@
+//! Key-range sharding of a compiled histogram: the partitioned form the
+//! serving tier (`wh-serve`) fans batches out to.
+//!
+//! A [`ShardedHistogram`] is built by **slicing** a fully compiled
+//! [`CompiledHistogram`] into contiguous key ranges — every shard copies
+//! its segment window of the global `starts`/`values`/`prefix` arrays
+//! bit for bit. Sharding therefore changes *where* a segment lives, never
+//! *what* it answers: a shard locates the same (unique) segment the
+//! unsharded form would and evaluates the identical
+//! `prefix[i] + values[i]·(x − starts[i] + 1)` expression on the same
+//! f64s, so every estimate — single or batched, merged across shards —
+//! is **bit-identical** to the unsharded answer. (Compiling each shard
+//! independently from the error tree could not promise that: the global
+//! prefix accumulator runs sequentially across all segments.)
+//!
+//! The batched path mirrors the unsharded one: sort the batch's
+//! endpoints once (the same LSD counting sort, buffers recycled in the
+//! caller's [`BatchScratch`]), split the sorted stream into per-shard
+//! sub-slices by binary search on the shard bounds, resolve each
+//! sub-slice with the same monotone galloping walk over that shard's
+//! local segment array, and combine the two endpoint prefixes of each
+//! range in the same order the unsharded path does.
+//!
+//! Everything here is fallible ([`QueryError`], no panicking
+//! counterparts): shards exist to serve traffic the process does not
+//! control.
+
+use crate::batch::{advance, BatchScratch};
+use crate::compiled::CompiledHistogram;
+use crate::error::QueryError;
+use wh_wavelet::Domain;
+
+/// One key-range shard: a contiguous window of the compiled segment
+/// arrays, copied bitwise. Covers keys `[key_lo, key_hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramShard {
+    key_lo: u64,
+    key_hi: u64,
+    /// Segment start keys of this window; `starts[0] == key_lo`.
+    starts: Vec<u64>,
+    /// Per-key estimates, copied from the global array.
+    values: Vec<f64>,
+    /// *Global* cumulative estimates before each segment — kept global
+    /// (not rebased to the shard) precisely so the evaluated expression
+    /// is the unsharded one.
+    prefix: Vec<f64>,
+}
+
+impl HistogramShard {
+    /// The half-open key range `[lo, hi)` this shard answers for.
+    pub fn key_range(&self) -> (u64, u64) {
+        (self.key_lo, self.key_hi)
+    }
+
+    /// Number of segments in this shard's window.
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Index of the local segment containing `x` (caller guarantees
+    /// `key_lo <= x < key_hi`).
+    #[inline]
+    fn segment_of(&self, x: u64) -> usize {
+        self.starts.partition_point(|&s| s <= x) - 1
+    }
+
+    /// The shared cumulative-estimate formula, on this shard's copies of
+    /// the global f64s — bit-identical to the unsharded evaluation.
+    #[inline]
+    fn prefix_at(&self, seg: usize, x: u64) -> f64 {
+        self.prefix[seg] + self.values[seg] * ((x - self.starts[seg] + 1) as f64)
+    }
+}
+
+/// A compiled histogram partitioned into key-range shards, answering
+/// every query bit-identically to the [`CompiledHistogram`] it was
+/// sliced from.
+///
+/// Like the unsharded form it is immutable and `Sync`: the serving tier
+/// shares one instance across threads behind an `Arc` and swaps whole
+/// instances atomically on rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedHistogram {
+    domain: Domain,
+    total: f64,
+    /// `bounds[i]` is shard `i`'s first key; `bounds[shards.len()] == u`.
+    /// Strictly ascending, `bounds[0] == 0`.
+    bounds: Vec<u64>,
+    shards: Vec<HistogramShard>,
+}
+
+impl ShardedHistogram {
+    /// Slices `compiled` into (at most) `num_shards` key-range shards of
+    /// near-equal segment count. Requests for more shards than segments
+    /// clamp to one shard per segment; `num_shards == 0` is treated as 1.
+    pub fn shard(compiled: &CompiledHistogram, num_shards: usize) -> Self {
+        let starts = compiled.start_keys();
+        let values = compiled.value_slice();
+        let prefix = compiled.prefix_slice();
+        let segs = starts.len();
+        let m = num_shards.clamp(1, segs);
+        let u = compiled.domain().u();
+        let mut bounds = Vec::with_capacity(m + 1);
+        let mut shards = Vec::with_capacity(m);
+        for j in 0..m {
+            let seg_lo = j * segs / m;
+            let seg_hi = (j + 1) * segs / m;
+            let key_lo = starts[seg_lo];
+            let key_hi = starts.get(seg_hi).copied().unwrap_or(u);
+            bounds.push(key_lo);
+            shards.push(HistogramShard {
+                key_lo,
+                key_hi,
+                starts: starts[seg_lo..seg_hi].to_vec(),
+                values: values[seg_lo..seg_hi].to_vec(),
+                prefix: prefix[seg_lo..seg_hi].to_vec(),
+            });
+        }
+        bounds.push(u);
+        Self {
+            domain: compiled.domain(),
+            total: compiled.total_estimate(),
+            bounds,
+            shards,
+        }
+    }
+
+    /// The key domain this histogram describes.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Number of key-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, ascending by key range.
+    pub fn shards(&self) -> impl Iterator<Item = &HistogramShard> {
+        self.shards.iter()
+    }
+
+    /// Estimated total frequency over the whole domain, copied bitwise
+    /// from the compiled form.
+    pub fn total_estimate(&self) -> f64 {
+        self.total
+    }
+
+    /// Index of the shard whose key range contains `x` (caller
+    /// guarantees `x` is in the domain).
+    #[inline]
+    fn shard_of(&self, x: u64) -> usize {
+        self.bounds.partition_point(|&b| b <= x) - 1
+    }
+
+    #[inline]
+    fn check_key(&self, x: u64) -> Result<(), QueryError> {
+        if self.domain.contains(x) {
+            Ok(())
+        } else {
+            Err(QueryError::OutOfDomain {
+                key: x,
+                domain: self.domain,
+            })
+        }
+    }
+
+    /// Estimated frequency of key `x`, bit-identical to
+    /// [`CompiledHistogram::try_point_estimate`].
+    pub fn try_point_estimate(&self, x: u64) -> Result<f64, QueryError> {
+        self.check_key(x)?;
+        let shard = &self.shards[self.shard_of(x)];
+        Ok(shard.values[shard.segment_of(x)])
+    }
+
+    /// Estimated cumulative frequency of keys `0..=x`, bit-identical to
+    /// [`CompiledHistogram::try_prefix_sum`].
+    pub fn try_prefix_sum(&self, x: u64) -> Result<f64, QueryError> {
+        self.check_key(x)?;
+        let shard = &self.shards[self.shard_of(x)];
+        Ok(shard.prefix_at(shard.segment_of(x), x))
+    }
+
+    /// Estimated total frequency of keys in `[lo, hi]`, bit-identical to
+    /// [`CompiledHistogram::try_range_sum`] — the two cumulative
+    /// estimates may come from different shards; they are combined in
+    /// the same order.
+    pub fn try_range_sum(&self, lo: u64, hi: u64) -> Result<f64, QueryError> {
+        if lo > hi {
+            return Err(QueryError::EmptyRange { lo, hi });
+        }
+        let hi_p = self.try_prefix_sum(hi)?;
+        let lo_p = if lo == 0 {
+            0.0
+        } else {
+            self.try_prefix_sum(lo - 1)?
+        };
+        Ok(hi_p - lo_p)
+    }
+
+    /// Estimated selectivity of `[lo, hi]` relative to `n` records,
+    /// bit-identical to [`CompiledHistogram::try_selectivity`].
+    pub fn try_selectivity(&self, lo: u64, hi: u64, n: u64) -> Result<f64, QueryError> {
+        if n == 0 {
+            return Err(QueryError::ZeroRecords);
+        }
+        Ok((self.try_range_sum(lo, hi)? / n as f64).clamp(0.0, 1.0))
+    }
+
+    /// Resolves the sorted endpoint stream in `scratch.endpoints` into
+    /// `scratch.prefixes`, fanning contiguous sub-slices out to shards.
+    fn resolve_prefixes(&self, scratch: &mut BatchScratch) {
+        let mut at = 0usize;
+        for (j, shard) in self.shards.iter().enumerate() {
+            if at == scratch.endpoints.len() {
+                break;
+            }
+            let hi_bound = self.bounds[j + 1];
+            let end = at + scratch.endpoints[at..].partition_point(|&(k, _)| k < hi_bound);
+            let mut seg = 0usize;
+            for &(x, tag) in &scratch.endpoints[at..end] {
+                seg = advance(&shard.starts, seg, x);
+                scratch.prefixes[tag as usize] = shard.prefix_at(seg, x);
+            }
+            at = end;
+        }
+    }
+
+    /// Answers a batch of inclusive range-sum queries into `out`,
+    /// bit-identical to [`CompiledHistogram::try_range_sum_batch_into`]
+    /// on the unsharded form: the same endpoint sort, a per-shard
+    /// galloping walk instead of a global one, and the same
+    /// `hi − (lo − 1)` prefix combination per query. On `Err`, `out` is
+    /// untouched.
+    pub fn try_range_sum_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), QueryError> {
+        if queries.len() != out.len() {
+            return Err(QueryError::OutputMismatch {
+                queries: queries.len(),
+                out: out.len(),
+            });
+        }
+        if queries.len() > 1 << 30 {
+            return Err(QueryError::BatchTooLarge {
+                len: queries.len(),
+                max_log2: 30,
+            });
+        }
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(2 * queries.len());
+        scratch.prefixes.clear();
+        scratch.prefixes.resize(2 * queries.len(), 0.0);
+        for (q, &(lo, hi)) in queries.iter().enumerate() {
+            if lo > hi {
+                return Err(QueryError::EmptyRange { lo, hi });
+            }
+            self.check_key(hi)?;
+            let tag = (q as u32) << 1;
+            if lo > 0 {
+                scratch.endpoints.push((lo - 1, tag));
+            }
+            scratch.endpoints.push((hi, tag | 1));
+        }
+        scratch.sort();
+        self.resolve_prefixes(scratch);
+        for (q, slot) in out.iter_mut().enumerate() {
+            *slot = scratch.prefixes[2 * q + 1] - scratch.prefixes[2 * q];
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of selectivity queries relative to `n` records,
+    /// bit-identical to
+    /// [`CompiledHistogram::try_selectivity_batch_into`]. On `Err`,
+    /// `out` is untouched.
+    pub fn try_selectivity_batch_into(
+        &self,
+        queries: &[(u64, u64)],
+        n: u64,
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), QueryError> {
+        if n == 0 {
+            return Err(QueryError::ZeroRecords);
+        }
+        self.try_range_sum_batch_into(queries, scratch, out)?;
+        for slot in out.iter_mut() {
+            *slot = (*slot / n as f64).clamp(0.0, 1.0);
+        }
+        Ok(())
+    }
+
+    /// Answers a batch of point estimates into `out`, bit-identical to
+    /// [`CompiledHistogram::try_point_estimate_batch_into`]. On `Err`,
+    /// `out` is untouched.
+    pub fn try_point_estimate_batch_into(
+        &self,
+        keys: &[u64],
+        scratch: &mut BatchScratch,
+        out: &mut [f64],
+    ) -> Result<(), QueryError> {
+        if keys.len() != out.len() {
+            return Err(QueryError::OutputMismatch {
+                queries: keys.len(),
+                out: out.len(),
+            });
+        }
+        if keys.len() > 1 << 31 {
+            return Err(QueryError::BatchTooLarge {
+                len: keys.len(),
+                max_log2: 31,
+            });
+        }
+        scratch.endpoints.clear();
+        scratch.endpoints.reserve(keys.len());
+        for (i, &x) in keys.iter().enumerate() {
+            self.check_key(x)?;
+            scratch.endpoints.push((x, i as u32));
+        }
+        scratch.sort();
+        let mut at = 0usize;
+        for (j, shard) in self.shards.iter().enumerate() {
+            if at == scratch.endpoints.len() {
+                break;
+            }
+            let hi_bound = self.bounds[j + 1];
+            let end = at + scratch.endpoints[at..].partition_point(|&(k, _)| k < hi_bound);
+            let mut seg = 0usize;
+            for &(x, idx) in &scratch.endpoints[at..end] {
+                seg = advance(&shard.starts, seg, x);
+                out[idx as usize] = shard.values[seg];
+            }
+            at = end;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_core::WaveletHistogram;
+    use wh_wavelet::haar::forward;
+    use wh_wavelet::select::top_k_magnitude;
+
+    fn compiled_from_signal(v: &[f64], k: usize) -> CompiledHistogram {
+        let domain = Domain::covering(v.len() as u64).unwrap();
+        let w = forward(v);
+        let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+        CompiledHistogram::compile(&WaveletHistogram::new(
+            domain,
+            top.iter().map(|e| (e.slot, e.value)),
+        ))
+    }
+
+    fn scramble(x: u64) -> u64 {
+        let mut z = x.wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 27)
+    }
+
+    fn random_queries(u: u64, count: usize) -> Vec<(u64, u64)> {
+        (0..count as u64)
+            .map(|i| {
+                let lo = scramble(i) % u;
+                let hi = lo + scramble(i ^ 0xdead) % (u - lo);
+                (lo, hi)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shards_partition_the_domain() {
+        let v: Vec<f64> = (0..256).map(|i| ((i * 37) % 19) as f64).collect();
+        let compiled = compiled_from_signal(&v, 20);
+        for m in [1usize, 2, 3, 7, 64, 10_000] {
+            let sharded = ShardedHistogram::shard(&compiled, m);
+            assert!(sharded.num_shards() <= compiled.num_segments());
+            assert!(sharded.num_shards() <= m.max(1));
+            let mut expect_lo = 0u64;
+            let mut segs = 0usize;
+            for shard in sharded.shards() {
+                let (lo, hi) = shard.key_range();
+                assert_eq!(lo, expect_lo, "m={m}");
+                assert!(hi > lo, "m={m}");
+                expect_lo = hi;
+                segs += shard.num_segments();
+            }
+            assert_eq!(expect_lo, compiled.domain().u(), "m={m}");
+            assert_eq!(segs, compiled.num_segments(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn sharded_single_queries_are_bit_identical() {
+        let v: Vec<f64> = (0..256)
+            .map(|i| ((i * 37) % 19) as f64 - ((i % 5) as f64))
+            .collect();
+        for k in [256usize, 17, 2, 0] {
+            let compiled = compiled_from_signal(&v, k);
+            for m in [1usize, 2, 5, 33] {
+                let sharded = ShardedHistogram::shard(&compiled, m);
+                assert_eq!(
+                    sharded.total_estimate().to_bits(),
+                    compiled.total_estimate().to_bits()
+                );
+                for x in 0..256u64 {
+                    assert_eq!(
+                        sharded.try_point_estimate(x).unwrap().to_bits(),
+                        compiled.point_estimate(x).to_bits(),
+                        "k={k} m={m} x={x}"
+                    );
+                    assert_eq!(
+                        sharded.try_prefix_sum(x).unwrap().to_bits(),
+                        compiled.prefix_sum(x).to_bits(),
+                        "k={k} m={m} x={x}"
+                    );
+                }
+                for &(lo, hi) in &random_queries(256, 300) {
+                    assert_eq!(
+                        sharded.try_range_sum(lo, hi).unwrap().to_bits(),
+                        compiled.range_sum(lo, hi).to_bits(),
+                        "k={k} m={m} [{lo},{hi}]"
+                    );
+                    assert_eq!(
+                        sharded.try_selectivity(lo, hi, 999).unwrap().to_bits(),
+                        compiled.selectivity(lo, hi, 999).to_bits(),
+                        "k={k} m={m} [{lo},{hi}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batches_are_bit_identical() {
+        let v: Vec<f64> = (0..512).map(|i| ((i * 131) % 41) as f64).collect();
+        let compiled = compiled_from_signal(&v, 25);
+        let queries = random_queries(512, 700);
+        let keys: Vec<u64> = (0..400u64).map(|i| scramble(i) % 512).collect();
+
+        let mut scratch = BatchScratch::new();
+        let mut expect_sums = vec![0.0; queries.len()];
+        compiled.range_sum_batch_into(&queries, &mut scratch, &mut expect_sums);
+        let mut expect_sels = vec![0.0; queries.len()];
+        compiled.selectivity_batch_into(&queries, 4242, &mut scratch, &mut expect_sels);
+        let mut expect_pts = vec![0.0; keys.len()];
+        compiled.point_estimate_batch_into(&keys, &mut scratch, &mut expect_pts);
+
+        for m in [1usize, 2, 4, 13, 76] {
+            let sharded = ShardedHistogram::shard(&compiled, m);
+            // One scratch recycled across shard counts and batch kinds.
+            let mut sums = vec![0.0; queries.len()];
+            sharded
+                .try_range_sum_batch_into(&queries, &mut scratch, &mut sums)
+                .unwrap();
+            let mut sels = vec![0.0; queries.len()];
+            sharded
+                .try_selectivity_batch_into(&queries, 4242, &mut scratch, &mut sels)
+                .unwrap();
+            let mut pts = vec![0.0; keys.len()];
+            sharded
+                .try_point_estimate_batch_into(&keys, &mut scratch, &mut pts)
+                .unwrap();
+            for (i, (a, b)) in expect_sums.iter().zip(&sums).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "m={m} query {i}");
+            }
+            for (i, (a, b)) in expect_sels.iter().zip(&sels).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "m={m} query {i}");
+            }
+            for (i, (a, b)) in expect_pts.iter().zip(&pts).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "m={m} key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_errors_match_the_unsharded_ones() {
+        let compiled = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        let sharded = ShardedHistogram::shard(&compiled, 2);
+        let mut scratch = BatchScratch::new();
+        let sentinel = [-3.0, -3.0];
+        let mut out = sentinel;
+
+        assert_eq!(sharded.try_range_sum(3, 1), compiled.try_range_sum(3, 1));
+        assert_eq!(
+            sharded.try_point_estimate(77),
+            compiled.try_point_estimate(77)
+        );
+        assert_eq!(
+            sharded.try_selectivity(0, 1, 0),
+            compiled.try_selectivity(0, 1, 0)
+        );
+        let err = sharded
+            .try_range_sum_batch_into(&[(0, 1), (2, 9)], &mut scratch, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::OutOfDomain { key: 9, .. }));
+        assert_eq!(out, sentinel);
+        let err = sharded
+            .try_point_estimate_batch_into(&[1], &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, QueryError::OutputMismatch { queries: 1, out: 2 });
+    }
+
+    #[test]
+    fn empty_histogram_shards_and_serves_zeros() {
+        let domain = Domain::new(4).unwrap();
+        let hist = WaveletHistogram::new(domain, std::iter::empty::<(u64, f64)>());
+        let compiled = CompiledHistogram::compile(&hist);
+        let sharded = ShardedHistogram::shard(&compiled, 8);
+        assert_eq!(sharded.num_shards(), 1); // one segment, clamped
+        assert_eq!(sharded.try_point_estimate(7).unwrap(), 0.0);
+        assert_eq!(sharded.try_range_sum(0, 15).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sharded_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ShardedHistogram>();
+    }
+}

@@ -1,0 +1,69 @@
+//! # wh-serve — the sharded, lock-free-on-read serving tier
+//!
+//! The paper builds wavelet histograms *so that* something can serve
+//! selectivity estimates from them at query-optimizer traffic rates — a
+//! cardinality estimator probes one histogram per predicate per
+//! candidate plan. This crate is that tier, grown from `wh-query`'s
+//! single compiled histogram into a process-wide serving component:
+//!
+//! * **Sharded.** Published histograms are sliced into key-range shards
+//!   ([`wh_query::ShardedHistogram`]) and addressed by dataset id.
+//!   Batched queries are routed by endpoint, fanned out to shards, and
+//!   the per-shard partials merged — **bit-identically** to querying the
+//!   unsharded [`wh_query::CompiledHistogram`], because shards are
+//!   bitwise slices of the compiled arrays, not independent compiles.
+//! * **Lock-free on read.** Rebuilt histograms swap in as whole
+//!   [`Snapshot`] generations through an epoch-swap primitive
+//!   ([`EpochSwap`]): readers poll one atomic per batch and re-clone an
+//!   `Arc` only when a generation actually changed, so they never block
+//!   on a publisher and never observe a torn generation.
+//! * **Fallible.** Every query runs through `wh-query`'s `try_*` path;
+//!   malformed traffic comes back as [`ServeError`] values. A serving
+//!   thread cannot be panicked by query input.
+//!
+//! ## Shape of a server
+//!
+//! ```
+//! use wh_serve::ServeTier;
+//! use wh_core::WaveletHistogram;
+//! use wh_query::CompiledHistogram;
+//! use wh_wavelet::Domain;
+//!
+//! // Build + compile (normally: the MapReduce build path).
+//! let domain = Domain::new(3).unwrap();
+//! let hist = WaveletHistogram::new(domain, [(0, 16.0 / 8f64.sqrt())]);
+//! let compiled = CompiledHistogram::compile(&hist);
+//!
+//! // One tier per process; publish under a dataset id.
+//! let tier = ServeTier::new(4); // shards per histogram ≈ serving cores
+//! tier.publish(1, &compiled, 16);
+//!
+//! // One handle per serving thread; all methods are fallible.
+//! std::thread::scope(|s| {
+//!     for _ in 0..2 {
+//!         s.spawn(|| {
+//!             let mut handle = tier.handle();
+//!             let queries = [(0, 3), (2, 5)];
+//!             let mut out = [0.0; 2];
+//!             handle.try_selectivity_batch_into(1, &queries, &mut out).unwrap();
+//!             assert!((out[0] - 0.5).abs() < 1e-9);
+//!             assert!(handle.try_selectivity(1, 9, 2).is_err()); // lo > hi: error, no panic
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! The differential and swap-under-load suites live in
+//! `tests/serve_tier.rs` at the workspace root; the `serve_throughput`
+//! bench in `wh-bench` drives a closed-loop thread-per-core load
+//! generator against this tier.
+
+mod epoch;
+mod tier;
+
+pub use epoch::{EpochReader, EpochSwap};
+pub use tier::{DatasetId, ServeError, ServeHandle, ServeTier, Snapshot};
+
+// Re-exported so serving callers can name query types without depending
+// on `wh-query` directly.
+pub use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};

@@ -1,0 +1,419 @@
+//! The serving tier: dataset-addressed, key-range-sharded histogram
+//! snapshots behind the epoch swap, answered through per-thread handles.
+//!
+//! ```text
+//!                       ServeTier (one per process)
+//!        publish/remove ──▶ writer lock ──▶ EpochSwap<Snapshot>
+//!                                               │ one Acquire load per batch
+//!              ┌────────────────────────────────┼──────────────────┐
+//!        ServeHandle (thread 0)          ServeHandle (thread 1)    …
+//!        EpochReader + BatchScratch      EpochReader + BatchScratch
+//!              │                                │
+//!        route by dataset id ──▶ ShardedHistogram ──▶ fan out by key
+//!        (binary search)          (Arc, immutable)     range, merge
+//! ```
+//!
+//! Every query runs through the **fallible** `try_*` path of `wh-query`:
+//! a malformed or out-of-domain query from traffic the process does not
+//! control comes back as a [`ServeError`] value — a serving thread never
+//! panics on query input. Answers are bit-identical to querying the
+//! published [`CompiledHistogram`] directly, whatever the shard count
+//! and however many generations have swapped in under the reader.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
+
+use crate::epoch::{EpochReader, EpochSwap};
+
+/// Identifies one published histogram inside the tier.
+pub type DatasetId = u32;
+
+/// Why the tier could not answer: the dataset is unknown to the current
+/// snapshot, or the query itself is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// No histogram is published under this id in the current snapshot.
+    UnknownDataset(DatasetId),
+    /// The query was malformed; see [`QueryError`].
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ServeError::UnknownDataset(id) => {
+                write!(f, "dataset {id} is not published in the serving snapshot")
+            }
+            ServeError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::UnknownDataset(_) => None,
+            ServeError::Query(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+/// One published histogram: its sharded compiled form plus the record
+/// count its selectivities are relative to. Entries are shared by `Arc`
+/// across snapshot generations, so republishing dataset A never copies
+/// dataset B's segments.
+#[derive(Debug)]
+struct DatasetEntry {
+    id: DatasetId,
+    records: u64,
+    sharded: ShardedHistogram,
+}
+
+/// One complete generation of the tier: every published dataset,
+/// ascending by id. Immutable once built — the epoch swap publishes
+/// whole snapshots, so a reader holds either all of generation `g` or
+/// all of `g + 1`, never a mix.
+#[derive(Debug)]
+pub struct Snapshot {
+    generation: u64,
+    entries: Vec<Arc<DatasetEntry>>,
+}
+
+impl Snapshot {
+    /// The generation counter this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of datasets published in this snapshot.
+    pub fn num_datasets(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn entry(&self, id: DatasetId) -> Result<&DatasetEntry, ServeError> {
+        self.entries
+            .binary_search_by_key(&id, |e| e.id)
+            .map(|i| &*self.entries[i])
+            .map_err(|_| ServeError::UnknownDataset(id))
+    }
+}
+
+/// The process-wide serving tier. Histograms are published by dataset
+/// id, sliced into key-range shards, and served lock-free through
+/// [`ServeHandle`]s; rebuilt histograms swap in atomically as whole
+/// [`Snapshot`] generations.
+#[derive(Debug)]
+pub struct ServeTier {
+    shards: usize,
+    swap: EpochSwap<Snapshot>,
+    /// Serializes publishers: each builds its snapshot from the previous
+    /// one, so concurrent publishes must not interleave read-modify-write.
+    writer: Mutex<()>,
+}
+
+impl ServeTier {
+    /// An empty tier (generation 0) whose published histograms are
+    /// sliced into `shards_per_histogram` key-range shards — typically
+    /// the serving core count. Requests beyond a histogram's segment
+    /// count clamp; `0` is treated as 1.
+    pub fn new(shards_per_histogram: usize) -> Self {
+        Self {
+            shards: shards_per_histogram,
+            swap: EpochSwap::new(Arc::new(Snapshot {
+                generation: 0,
+                entries: Vec::new(),
+            })),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The shard count histograms are sliced into at publish time.
+    pub fn shards_per_histogram(&self) -> usize {
+        self.shards
+    }
+
+    /// Publishes (or republishes) `compiled` under `id`, with
+    /// selectivities relative to `records`. Returns the new generation.
+    /// Readers mid-batch keep the previous generation until their next
+    /// batch; they never block and never observe a half-published tier.
+    pub fn publish(&self, id: DatasetId, compiled: &CompiledHistogram, records: u64) -> u64 {
+        let entry = Arc::new(DatasetEntry {
+            id,
+            records,
+            sharded: ShardedHistogram::shard(compiled, self.shards),
+        });
+        let _writer = self.writer.lock();
+        let (_, current) = self.swap.load();
+        let mut entries = current.entries.clone();
+        match entries.binary_search_by_key(&id, |e| e.id) {
+            Ok(i) => entries[i] = entry,
+            Err(i) => entries.insert(i, entry),
+        }
+        let generation = current.generation + 1;
+        self.swap.store(Arc::new(Snapshot {
+            generation,
+            entries,
+        }));
+        generation
+    }
+
+    /// Withdraws `id` from serving. Returns the new generation, or
+    /// `None` (and publishes nothing) when `id` was not present.
+    pub fn remove(&self, id: DatasetId) -> Option<u64> {
+        let _writer = self.writer.lock();
+        let (_, current) = self.swap.load();
+        let i = current.entries.binary_search_by_key(&id, |e| e.id).ok()?;
+        let mut entries = current.entries.clone();
+        entries.remove(i);
+        let generation = current.generation + 1;
+        self.swap.store(Arc::new(Snapshot {
+            generation,
+            entries,
+        }));
+        Some(generation)
+    }
+
+    /// The current generation counter.
+    pub fn generation(&self) -> u64 {
+        self.swap.load().1.generation
+    }
+
+    /// A serving handle for one reader thread: its own snapshot cache
+    /// and batch scratch. Handles borrow the tier, so a thread-per-core
+    /// server hands one to each worker inside `std::thread::scope`.
+    pub fn handle(&self) -> ServeHandle<'_> {
+        ServeHandle {
+            tier: self,
+            reader: self.swap.reader(),
+            scratch: BatchScratch::new(),
+        }
+    }
+}
+
+/// One reader thread's view of a [`ServeTier`]: an [`EpochReader`]
+/// caching the current [`Snapshot`] and a recycled [`BatchScratch`].
+/// Every method is fallible; a bad query returns a [`ServeError`] and
+/// leaves the output buffer untouched, so one malformed request in a
+/// stream cannot take the serving thread down or corrupt its neighbors'
+/// answers.
+#[derive(Debug)]
+pub struct ServeHandle<'t> {
+    tier: &'t ServeTier,
+    reader: EpochReader<Snapshot>,
+    scratch: BatchScratch,
+}
+
+impl ServeHandle<'_> {
+    /// The snapshot this handle currently serves from, refreshed first
+    /// if the tier republished (one atomic load; lock-free when nothing
+    /// changed).
+    pub fn snapshot(&mut self) -> &Snapshot {
+        self.reader.get(&self.tier.swap)
+    }
+
+    /// Answers a batch of range sums from `id` into `out`,
+    /// bit-identical to the unsharded compiled histogram.
+    pub fn try_range_sum_batch_into(
+        &mut self,
+        id: DatasetId,
+        queries: &[(u64, u64)],
+        out: &mut [f64],
+    ) -> Result<(), ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry(id)?;
+        entry
+            .sharded
+            .try_range_sum_batch_into(queries, &mut self.scratch, out)?;
+        Ok(())
+    }
+
+    /// Answers a batch of selectivities from `id` into `out`, relative
+    /// to the record count published with the dataset.
+    pub fn try_selectivity_batch_into(
+        &mut self,
+        id: DatasetId,
+        queries: &[(u64, u64)],
+        out: &mut [f64],
+    ) -> Result<(), ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry(id)?;
+        entry
+            .sharded
+            .try_selectivity_batch_into(queries, entry.records, &mut self.scratch, out)?;
+        Ok(())
+    }
+
+    /// Answers a batch of point estimates from `id` into `out`.
+    pub fn try_point_estimate_batch_into(
+        &mut self,
+        id: DatasetId,
+        keys: &[u64],
+        out: &mut [f64],
+    ) -> Result<(), ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry(id)?;
+        entry
+            .sharded
+            .try_point_estimate_batch_into(keys, &mut self.scratch, out)?;
+        Ok(())
+    }
+
+    /// One range sum from `id`.
+    pub fn try_range_sum(&mut self, id: DatasetId, lo: u64, hi: u64) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        Ok(snap.entry(id)?.sharded.try_range_sum(lo, hi)?)
+    }
+
+    /// One selectivity from `id`, relative to its published record count.
+    pub fn try_selectivity(&mut self, id: DatasetId, lo: u64, hi: u64) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry(id)?;
+        Ok(entry.sharded.try_selectivity(lo, hi, entry.records)?)
+    }
+
+    /// One point estimate from `id`.
+    pub fn try_point_estimate(&mut self, id: DatasetId, x: u64) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        Ok(snap.entry(id)?.sharded.try_point_estimate(x)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_core::WaveletHistogram;
+    use wh_wavelet::haar::forward;
+    use wh_wavelet::select::top_k_magnitude;
+    use wh_wavelet::Domain;
+
+    fn compiled_from_signal(v: &[f64], k: usize) -> CompiledHistogram {
+        let domain = Domain::covering(v.len() as u64).unwrap();
+        let w = forward(v);
+        let top = top_k_magnitude(w.iter().enumerate().map(|(s, &c)| (s as u64, c)), k);
+        CompiledHistogram::compile(&WaveletHistogram::new(
+            domain,
+            top.iter().map(|e| (e.slot, e.value)),
+        ))
+    }
+
+    #[test]
+    fn publish_remove_and_generations() {
+        let tier = ServeTier::new(4);
+        assert_eq!(tier.generation(), 0);
+        let a = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        let b = compiled_from_signal(&[9.0, 9.0], 2);
+        assert_eq!(tier.publish(7, &a, 10), 1);
+        assert_eq!(tier.publish(3, &b, 18), 2);
+        assert_eq!(tier.publish(7, &a, 10), 3); // republish same id
+        let mut h = tier.handle();
+        assert_eq!(h.snapshot().num_datasets(), 2);
+        assert_eq!(h.snapshot().generation(), 3);
+        assert_eq!(tier.remove(7), Some(4));
+        assert_eq!(tier.remove(7), None);
+        assert_eq!(tier.generation(), 4);
+        assert_eq!(h.snapshot().num_datasets(), 1);
+    }
+
+    #[test]
+    fn handle_answers_bit_identical_to_the_compiled_form() {
+        let v: Vec<f64> = (0..128).map(|i| ((i * 13) % 29) as f64).collect();
+        let compiled = compiled_from_signal(&v, 15);
+        let n = 5_000u64;
+        let tier = ServeTier::new(3);
+        tier.publish(42, &compiled, n);
+        let mut h = tier.handle();
+
+        let queries: Vec<(u64, u64)> = (0..100u64).map(|i| (i, i + 27)).collect();
+        let mut got = vec![0.0; queries.len()];
+        h.try_selectivity_batch_into(42, &queries, &mut got)
+            .unwrap();
+        let mut want = vec![0.0; queries.len()];
+        compiled.selectivity_batch_into(&queries, n, &mut BatchScratch::new(), &mut want);
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            h.try_range_sum(42, 5, 99).unwrap().to_bits(),
+            compiled.range_sum(5, 99).to_bits()
+        );
+        assert_eq!(
+            h.try_point_estimate(42, 77).unwrap().to_bits(),
+            compiled.point_estimate(77).to_bits()
+        );
+    }
+
+    #[test]
+    fn bad_queries_are_errors_not_panics() {
+        let tier = ServeTier::new(2);
+        let compiled = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        tier.publish(1, &compiled, 0); // zero records: selectivity must error
+        let mut h = tier.handle();
+        let sentinel = [-1.0; 2];
+        let mut out = sentinel;
+
+        assert_eq!(h.try_range_sum(9, 0, 1), Err(ServeError::UnknownDataset(9)));
+        assert_eq!(
+            h.try_range_sum(1, 3, 2),
+            Err(ServeError::Query(QueryError::EmptyRange { lo: 3, hi: 2 }))
+        );
+        assert_eq!(
+            h.try_selectivity(1, 0, 1),
+            Err(ServeError::Query(QueryError::ZeroRecords))
+        );
+        let err = h
+            .try_range_sum_batch_into(1, &[(0, 1), (0, 77)], &mut out)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Query(QueryError::OutOfDomain { key: 77, .. })
+        ));
+        assert_eq!(out, sentinel, "failed batch must not touch the output");
+        // The handle keeps serving after every error.
+        assert!(h.try_range_sum(1, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn republish_swaps_answers_atomically_for_existing_handles() {
+        let tier = ServeTier::new(2);
+        let old = compiled_from_signal(&[4.0, 0.0, 0.0, 0.0], 4);
+        let new = compiled_from_signal(&[0.0, 0.0, 0.0, 4.0], 4);
+        tier.publish(5, &old, 4);
+        let mut h = tier.handle();
+        assert_eq!(
+            h.try_range_sum(5, 0, 0).unwrap().to_bits(),
+            old.range_sum(0, 0).to_bits()
+        );
+        tier.publish(5, &new, 4);
+        assert_eq!(
+            h.try_range_sum(5, 0, 0).unwrap().to_bits(),
+            new.range_sum(0, 0).to_bits()
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        assert_eq!(
+            ServeError::UnknownDataset(12).to_string(),
+            "dataset 12 is not published in the serving snapshot"
+        );
+        assert_eq!(
+            ServeError::Query(QueryError::ZeroRecords).to_string(),
+            "selectivity needs a positive record count"
+        );
+    }
+
+    #[test]
+    fn tier_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ServeTier>();
+        assert_sync_send::<Snapshot>();
+    }
+}

@@ -37,6 +37,8 @@ pub use wh_wavelet as wavelet;
 
 /// The query-serving layer (compiled histograms, batched selectivity).
 pub use wh_query as query;
+/// The serving tier (sharded snapshots, epoch swaps, per-thread handles).
+pub use wh_serve as serve;
 
 /// The histogram builders.
 pub use wh_core::builders;
@@ -45,4 +47,5 @@ pub use wh_core::evaluate;
 /// Two-dimensional histograms.
 pub use wh_core::twod;
 pub use wh_core::{BuildResult, HistogramBuilder, WaveletHistogram};
-pub use wh_query::{BatchScratch, CompiledHistogram};
+pub use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
+pub use wh_serve::{ServeError, ServeHandle, ServeTier};

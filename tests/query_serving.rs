@@ -233,6 +233,81 @@ fn batched_serving_is_bit_identical_for_every_builder() {
     }
 }
 
+/// One `BatchScratch` recycled across *different* compiled histograms —
+/// different builders, segment counts, and domains — interleaved in
+/// every order. The serve tier recycles a handle's scratch across shard
+/// snapshots and datasets, so no state (endpoint buffers, sort
+/// histograms, prefix slots) may leak from one histogram's batch into
+/// the next: every answer must stay bit-equal to one computed with a
+/// fresh scratch.
+#[test]
+fn scratch_reuse_across_different_histograms_leaks_nothing() {
+    let cluster = ClusterConfig::paper_cluster();
+    // Three genuinely different compiled forms: different domains (2^10
+    // vs 2^6), record counts, builders, and retention (segment counts).
+    let big = zipf_dataset();
+    let small = DatasetBuilder::new()
+        .domain(Domain::new(6).expect("valid domain"))
+        .distribution(Distribution::Zipf { alpha: 1.2 })
+        .records(9_000)
+        .splits(4)
+        .seed(0xcafe)
+        .build();
+    let compiled: Vec<(CompiledHistogram, u64)> = vec![
+        (
+            CompiledHistogram::compile(&TwoLevelS::new(0.02, 3).build(&big, &cluster, K).histogram),
+            big.num_records(),
+        ),
+        (
+            CompiledHistogram::compile(&SendV::new().build(&small, &cluster, 5).histogram),
+            small.num_records(),
+        ),
+        (
+            CompiledHistogram::compile(&HWTopk::new().build(&big, &cluster, 7).histogram),
+            big.num_records(),
+        ),
+    ];
+    let seg_counts: Vec<usize> = compiled.iter().map(|(c, _)| c.num_segments()).collect();
+    assert!(
+        seg_counts.windows(2).all(|w| w[0] != w[1]),
+        "histograms must differ structurally for this test to bite: {seg_counts:?}"
+    );
+
+    let mut shared = BatchScratch::new();
+    // Visit the histograms in a scrambled order, twice each per round,
+    // so every (previous, next) pair of structures occurs.
+    for round in 0..3u64 {
+        for step in 0..6u64 {
+            let which = (scramble(round * 6 + step) % compiled.len() as u64) as usize;
+            let (c, n) = &compiled[which];
+            let u = c.domain().u();
+            let queries = range_queries(u, 150 + 50 * which, round * 31 + step);
+            let keys: Vec<u64> = (0..100u64).map(|i| scramble(i ^ step) % u).collect();
+
+            let mut got = vec![0.0; queries.len()];
+            c.selectivity_batch_into(&queries, *n, &mut shared, &mut got);
+            let mut fresh = vec![0.0; queries.len()];
+            c.selectivity_batch_into(&queries, *n, &mut BatchScratch::new(), &mut fresh);
+            for (i, (a, b)) in fresh.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "round {round} step {step} hist {which} sel {i}"
+                );
+            }
+            let mut got_pts = vec![0.0; keys.len()];
+            c.point_estimate_batch_into(&keys, &mut shared, &mut got_pts);
+            for (&x, &p) in keys.iter().zip(&got_pts) {
+                assert_eq!(
+                    p.to_bits(),
+                    c.point_estimate(x).to_bits(),
+                    "round {round} step {step} hist {which} key {x}"
+                );
+            }
+        }
+    }
+}
+
 /// The serving contract of the north star: one immutable compiled
 /// histogram, shared by reference across a thread-per-core pool, every
 /// thread answering with its own scratch — and every answer bit-equal

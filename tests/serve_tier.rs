@@ -1,0 +1,316 @@
+//! Serving-tier suite: the sharded, epoch-swapped read path (`wh-serve`)
+//! against the unsharded compiled histogram it must be indistinguishable
+//! from.
+//!
+//! Three contracts are pinned:
+//!
+//! * **Bit-identity under sharding** — for every builder and every shard
+//!   count, batched answers routed through the tier (dataset lookup →
+//!   endpoint sort → per-shard fan-out → merge) equal the unsharded
+//!   `CompiledHistogram` answers bit for bit.
+//! * **Atomic generations** — readers hammering the tier while a writer
+//!   republishes observe answers from exactly one generation per batch,
+//!   never a blend of two (the epoch swap publishes whole `Arc`'d
+//!   snapshots).
+//! * **No panics from traffic** — serving threads fed malformed queries
+//!   (bad ranges, out-of-domain keys, unknown datasets, zero record
+//!   counts) report errors and keep serving; the panicking `assert!`
+//!   path is unreachable from query input.
+
+use wavelet_hist::builders::{
+    BasicS, HWTopk, HistogramBuilder, ImprovedS, SendCoef, SendSketch, SendSketchAms, SendV,
+    TwoLevelS,
+};
+use wavelet_hist::data::{Dataset, DatasetBuilder, Distribution};
+use wavelet_hist::mapreduce::ClusterConfig;
+use wavelet_hist::query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
+use wavelet_hist::serve::{ServeError, ServeTier};
+use wavelet_hist::wavelet::Domain;
+
+const K: usize = 24;
+
+fn builders() -> Vec<(&'static str, Box<dyn HistogramBuilder>)> {
+    let eps = 0.02;
+    vec![
+        ("Send-V", Box::new(SendV::new())),
+        ("Send-Coef", Box::new(SendCoef::new())),
+        ("H-WTopk", Box::new(HWTopk::new())),
+        ("Basic-S", Box::new(BasicS::new(eps, 3))),
+        ("Improved-S", Box::new(ImprovedS::new(eps, 3))),
+        ("TwoLevel-S", Box::new(TwoLevelS::new(eps, 3))),
+        ("Send-Sketch", Box::new(SendSketch::new(5))),
+        ("Send-Sketch-AMS", Box::new(SendSketchAms::new(5))),
+    ]
+}
+
+fn zipf_dataset() -> Dataset {
+    DatasetBuilder::new()
+        .domain(Domain::new(10).expect("valid domain"))
+        .distribution(Distribution::Zipf { alpha: 1.1 })
+        .records(60_000)
+        .splits(8)
+        .seed(0x51e1)
+        .build()
+}
+
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 27)
+}
+
+fn range_queries(u: u64, count: usize, seed: u64) -> Vec<(u64, u64)> {
+    (0..count as u64)
+        .map(|i| {
+            let lo = scramble(i ^ seed) % u;
+            let hi = lo + scramble(i ^ seed ^ 0xc0ffee) % (u - lo);
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// Bit-identity of the whole route — dataset lookup, endpoint sort,
+/// shard fan-out, merge — for every builder and several shard counts.
+#[test]
+fn tier_answers_are_bit_identical_for_every_builder_and_shard_count() {
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let n = ds.num_records();
+    let u = ds.domain().u();
+    let queries = range_queries(u, 600, 0x7e57);
+    let keys: Vec<u64> = (0..400u64).map(|i| scramble(i) % u).collect();
+    for (b, (name, builder)) in builders().into_iter().enumerate() {
+        let hist = builder.build(&ds, &cluster, K).histogram;
+        let compiled = CompiledHistogram::compile(&hist);
+        let mut scratch = BatchScratch::new();
+        let mut want_sels = vec![0.0; queries.len()];
+        compiled.selectivity_batch_into(&queries, n, &mut scratch, &mut want_sels);
+        let mut want_sums = vec![0.0; queries.len()];
+        compiled.range_sum_batch_into(&queries, &mut scratch, &mut want_sums);
+        let mut want_pts = vec![0.0; keys.len()];
+        compiled.point_estimate_batch_into(&keys, &mut scratch, &mut want_pts);
+
+        for shards in [1usize, 2, 4, 7] {
+            let tier = ServeTier::new(shards);
+            let id = b as u32;
+            tier.publish(id, &compiled, n);
+            let mut h = tier.handle();
+            let mut got = vec![0.0; queries.len()];
+            h.try_selectivity_batch_into(id, &queries, &mut got)
+                .unwrap();
+            for (i, (a, g)) in want_sels.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), g.to_bits(), "{name} shards={shards} sel {i}");
+            }
+            h.try_range_sum_batch_into(id, &queries, &mut got).unwrap();
+            for (i, (a, g)) in want_sums.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), g.to_bits(), "{name} shards={shards} sum {i}");
+            }
+            let mut got_pts = vec![0.0; keys.len()];
+            h.try_point_estimate_batch_into(id, &keys, &mut got_pts)
+                .unwrap();
+            for (i, (a, g)) in want_pts.iter().zip(&got_pts).enumerate() {
+                assert_eq!(a.to_bits(), g.to_bits(), "{name} shards={shards} pt {i}");
+            }
+            // Singles route through the same shards.
+            for &(lo, hi) in queries.iter().take(50) {
+                assert_eq!(
+                    h.try_range_sum(id, lo, hi).unwrap().to_bits(),
+                    compiled.range_sum(lo, hi).to_bits(),
+                    "{name} shards={shards} [{lo},{hi}]"
+                );
+            }
+        }
+    }
+}
+
+/// The concurrent reader/swapper contract: while a writer republishes a
+/// dataset back and forth between two histograms, every reader batch is
+/// answered entirely by one of the two complete generations — bit-equal
+/// to one or the other for *every* query of the batch, never a mix.
+#[test]
+fn readers_never_observe_a_torn_generation_under_swaps() {
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let n = ds.num_records();
+    let u = ds.domain().u();
+    // Two deliberately different generations of the "same" dataset.
+    let gen_a =
+        CompiledHistogram::compile(&TwoLevelS::new(0.02, 3).build(&ds, &cluster, K).histogram);
+    let gen_b = CompiledHistogram::compile(&SendV::new().build(&ds, &cluster, 6).histogram);
+    let queries = range_queries(u, 64, 0xfeed);
+    let mut scratch = BatchScratch::new();
+    let mut expect_a = vec![0.0; queries.len()];
+    gen_a.selectivity_batch_into(&queries, n, &mut scratch, &mut expect_a);
+    let mut expect_b = vec![0.0; queries.len()];
+    gen_b.selectivity_batch_into(&queries, n, &mut scratch, &mut expect_b);
+    // The generations must actually disagree somewhere, or the test
+    // could not detect tearing.
+    assert!(
+        expect_a
+            .iter()
+            .zip(&expect_b)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "test needs distinguishable generations"
+    );
+
+    let tier = ServeTier::new(4);
+    tier.publish(0, &gen_a, n);
+    const SWAPS: u64 = 400;
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let (tier, queries, expect_a, expect_b) = (&tier, &queries, &expect_a, &expect_b);
+            s.spawn(move || {
+                let mut h = tier.handle();
+                let mut got = vec![0.0; queries.len()];
+                let mut batches = 0u64;
+                let mut seen_a = 0u64;
+                let mut seen_b = 0u64;
+                while batches < 2_000 {
+                    h.try_selectivity_batch_into(0, queries, &mut got).unwrap();
+                    let all_a = got
+                        .iter()
+                        .zip(expect_a)
+                        .all(|(g, e)| g.to_bits() == e.to_bits());
+                    let all_b = got
+                        .iter()
+                        .zip(expect_b)
+                        .all(|(g, e)| g.to_bits() == e.to_bits());
+                    assert!(
+                        all_a || all_b,
+                        "reader {t}: batch {batches} blended two generations"
+                    );
+                    seen_a += u64::from(all_a);
+                    seen_b += u64::from(all_b);
+                    batches += 1;
+                }
+                (seen_a, seen_b)
+            });
+        }
+        let tier = &tier;
+        let (gen_a, gen_b) = (&gen_a, &gen_b);
+        s.spawn(move || {
+            for i in 0..SWAPS {
+                let gen = if i % 2 == 0 { gen_b } else { gen_a };
+                tier.publish(0, gen, n);
+            }
+        });
+    });
+    // All swaps landed: initial publish + SWAPS republishes.
+    assert_eq!(tier.generation(), 1 + SWAPS);
+}
+
+/// Serving threads survive malformed traffic: each worker interleaves
+/// valid batches with every class of bad query, collects errors as
+/// values, and its valid answers stay bit-identical throughout. (With
+/// the old `assert!`-driven path this test would abort the process.)
+#[test]
+fn shard_threads_survive_bad_queries_and_keep_serving() {
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let n = ds.num_records();
+    let u = ds.domain().u();
+    let compiled = CompiledHistogram::compile(&HWTopk::new().build(&ds, &cluster, K).histogram);
+    let tier = ServeTier::new(4);
+    tier.publish(9, &compiled, n);
+
+    let queries = range_queries(u, 128, 0xbad);
+    let mut want = vec![0.0; queries.len()];
+    compiled.selectivity_batch_into(&queries, n, &mut BatchScratch::new(), &mut want);
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (tier, queries, want) = (&tier, &queries, &want);
+            s.spawn(move || {
+                let mut h = tier.handle();
+                let mut got = vec![0.0; queries.len()];
+                for round in 0..200 {
+                    // A bad query of every class, between valid batches.
+                    assert_eq!(
+                        h.try_selectivity(77, 0, 1),
+                        Err(ServeError::UnknownDataset(77))
+                    );
+                    assert_eq!(
+                        h.try_range_sum(9, 10, 3),
+                        Err(ServeError::Query(QueryError::EmptyRange { lo: 10, hi: 3 }))
+                    );
+                    assert!(matches!(
+                        h.try_point_estimate(9, u + 5),
+                        Err(ServeError::Query(QueryError::OutOfDomain { .. }))
+                    ));
+                    let err = h
+                        .try_range_sum_batch_into(9, &[(0, 1), (4, u)], &mut got[..2])
+                        .unwrap_err();
+                    assert!(matches!(
+                        err,
+                        ServeError::Query(QueryError::OutOfDomain { .. })
+                    ));
+                    // …and the very same handle keeps answering exactly.
+                    h.try_selectivity_batch_into(9, queries, &mut got).unwrap();
+                    for (i, (a, g)) in want.iter().zip(&got).enumerate() {
+                        assert_eq!(a.to_bits(), g.to_bits(), "round {round} query {i}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Removing a dataset under load: readers get `UnknownDataset` (not a
+/// panic, not stale garbage) once their snapshot refreshes, and
+/// republishing restores service.
+#[test]
+fn remove_and_republish_under_handles() {
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let n = ds.num_records();
+    let compiled = CompiledHistogram::compile(&SendCoef::new().build(&ds, &cluster, K).histogram);
+    let tier = ServeTier::new(2);
+    tier.publish(3, &compiled, n);
+    let mut h = tier.handle();
+    assert!(h.try_range_sum(3, 0, 10).is_ok());
+    tier.remove(3);
+    assert_eq!(
+        h.try_range_sum(3, 0, 10),
+        Err(ServeError::UnknownDataset(3))
+    );
+    tier.publish(3, &compiled, n);
+    assert_eq!(
+        h.try_range_sum(3, 0, 10).unwrap().to_bits(),
+        compiled.range_sum(0, 10).to_bits()
+    );
+}
+
+/// The sharded form itself (no tier) splits the domain exactly and
+/// matches the unsharded answers on shard boundaries — the keys most
+/// likely to rout to the wrong side of an off-by-one.
+#[test]
+fn shard_boundaries_answer_exactly() {
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let compiled = CompiledHistogram::compile(&SendV::new().build(&ds, &cluster, K).histogram);
+    for m in [2usize, 3, 5, 8] {
+        let sharded = ShardedHistogram::shard(&compiled, m);
+        for shard in sharded.shards() {
+            let (lo, hi) = shard.key_range();
+            for x in [
+                lo,
+                lo.saturating_add(1),
+                hi - 1,
+                hi.min(compiled.domain().u() - 1),
+            ] {
+                if compiled.domain().contains(x) {
+                    assert_eq!(
+                        sharded.try_point_estimate(x).unwrap().to_bits(),
+                        compiled.point_estimate(x).to_bits(),
+                        "m={m} x={x}"
+                    );
+                    assert_eq!(
+                        sharded.try_prefix_sum(x).unwrap().to_bits(),
+                        compiled.prefix_sum(x).to_bits(),
+                        "m={m} x={x}"
+                    );
+                }
+            }
+        }
+    }
+}
