@@ -1,4 +1,4 @@
-//! Runs the fixed engine-benchmark suite and emits `BENCH_PR6.json`.
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR7.json`.
 //!
 //! ```text
 //! cargo run -p wh-bench --release --bin bench_suite                 # full suite
@@ -6,7 +6,7 @@
 //! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # all sections → committed file
 //! cargo run -p wh-bench --release --bin bench_suite -- \
 //!     --fast --threads 4 --out bench-current.json \
-//!     --check BENCH_PR6.json                                        # one CI matrix leg
+//!     --check BENCH_PR7.json                                        # one CI matrix leg
 //! ```
 //!
 //! `--threads N` pins the engines' map and reduce parallelism on both
@@ -22,7 +22,7 @@
 //! the run summary without downloading the report artifact. `--baseline`
 //! runs the full suite plus the fast suite unpinned and at 1 and 4
 //! threads, writing all four sections — that is how the committed
-//! `BENCH_PR6.json` is produced.
+//! `BENCH_PR7.json` is produced.
 //!
 //! On a `--check` run with 4 or more pinned threads, `serve_throughput`
 //! must additionally clear the absolute
@@ -44,6 +44,29 @@ fn usage() -> ! {
          [--out FILE] [--check BASELINE]"
     );
     std::process::exit(2);
+}
+
+/// The run header: which suite, and the **resolved** engine mode and
+/// thread/worker topology — `--threads 0` means one thread (and, for the
+/// wire bench, one forked worker process) per core, and the header says
+/// what that resolved to on this machine.
+fn describe_run(fast: bool, threads: usize, cores: usize, repeats: usize) -> String {
+    let workers = if threads == 0 { cores } else { threads };
+    let budget = if threads == 0 {
+        format!("auto ({workers}/core)")
+    } else {
+        threads.to_string()
+    };
+    let wire = if cfg!(unix) {
+        format!("wire_shuffle multi-process with {workers} forked map worker(s)")
+    } else {
+        "wire_shuffle skipped (non-Unix)".to_string()
+    };
+    format!(
+        "running {} suite on {cores} core(s): engine modes pipelined vs reference (in-process), \
+         {wire}; threads={budget}, best of {repeats} …",
+        if fast { "fast" } else { "full" },
+    )
 }
 
 fn print_table(records: &[BenchRecord]) {
@@ -90,7 +113,7 @@ fn main() -> ExitCode {
     let mut baseline_mode = false;
     let mut threads = 0usize;
     let mut repeats: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_PR6.json");
+    let mut out = PathBuf::from("BENCH_PR7.json");
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -134,15 +157,7 @@ fn main() -> ExitCode {
         let mut sections: Vec<(String, Vec<BenchRecord>)> = Vec::new();
         for (f, t) in [(false, 0usize), (true, 0), (true, 1), (true, 4)] {
             let name = section_for(f, t);
-            eprintln!(
-                "running {} suite (threads={}) on {cores} core(s), best of {repeats} …",
-                if f { "fast" } else { "full" },
-                if t == 0 {
-                    "auto".to_string()
-                } else {
-                    t.to_string()
-                },
-            );
+            eprintln!("{}", describe_run(f, t, cores, repeats));
             let records = run_suite(SuiteOptions {
                 fast: f,
                 repeats,
@@ -157,15 +172,7 @@ fn main() -> ExitCode {
         current = sections.swap_remove(0).1;
     } else {
         section = section_for(fast, threads);
-        eprintln!(
-            "running {} suite (threads={}) on {cores} core(s), best of {repeats} …",
-            if fast { "fast" } else { "full" },
-            if threads == 0 {
-                "auto".to_string()
-            } else {
-                threads.to_string()
-            },
-        );
+        eprintln!("{}", describe_run(fast, threads, cores, repeats));
         current = run_suite(SuiteOptions {
             fast,
             repeats,

@@ -1,8 +1,9 @@
-//! The fixed benchmark suite behind `BENCH_PR6.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR7.json` and the CI
 //! regression gate.
 //!
-//! Ten benchmarks, each timing the **optimized** side against a
-//! baseline measured in the same process and run:
+//! Eleven benchmarks (ten everywhere, plus `wire_shuffle` on Unix), each
+//! timing the **optimized** side against a baseline measured in the same
+//! process and run:
 //!
 //! | name | optimized side | baseline side |
 //! |---|---|---|
@@ -11,11 +12,17 @@
 //! | `dense_combine` | dense-table combining (radix + domain hint) | hash-map combining |
 //! | `dense_reduce` | dense-reduce strategy (flat slot arrays) | sort-at-reduce strategy |
 //! | `shuffle_throughput` | radix shuffle → parallel dense reduce | global sort + sequential reduce |
+//! | `wire_shuffle` (Unix) | multi-process engine: forked workers shipping framed pairs over pipes | the same job in-process |
 //! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
 //! | `query_throughput` | batched selectivity serving (`wh-query`) | one-at-a-time serving |
 //! | `serve_throughput` | the sharded, epoch-swapped tier (`wh-serve`) | direct batched serving on the unsharded compiled form |
+//!
+//! `wire_shuffle` is the one bench where the "optimized" side is expected
+//! to *cost more* (real fork + pipe + encode/decode versus in-memory
+//! moves): its gate watches that overhead ratio, and its `items_per_s`
+//! reports measured bytes-on-wire per second.
 //!
 //! Because both sides run on the same machine moments apart, the
 //! per-bench `relative_cost` (`wall_s / reference_wall_s`) is portable
@@ -94,6 +101,10 @@ pub struct BenchRecord {
     /// Whether both sides produced bit-identical outputs and equal
     /// logical metrics.
     pub outputs_match: bool,
+    /// Measured bytes of intermediate pairs that crossed a real process
+    /// boundary during the timed side (`RunMetrics::bytes_on_wire`);
+    /// `0` for benches that never leave the process.
+    pub bytes_on_wire: u64,
 }
 
 impl BenchRecord {
@@ -123,18 +134,23 @@ fn time_best<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 
 /// Runs the whole fixed suite.
 pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
-    vec![
+    let mut records = vec![
         haar_forward(opts),
         radix_sort(opts),
         dense_combine(opts),
         dense_reduce(opts),
         shuffle_throughput(opts),
+    ];
+    #[cfg(unix)]
+    records.push(wire_shuffle(opts));
+    records.extend([
         end_to_end_send_coef(opts),
         end_to_end_send_v(opts),
         end_to_end_two_level(opts),
         query_throughput(opts),
         serve_throughput(opts),
-    ]
+    ]);
+    records
 }
 
 /// Dense Haar transform: in-place vs allocating.
@@ -155,6 +171,7 @@ fn haar_forward(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: u as f64 / wall_s.max(1e-12),
         outputs_match: ours == reference,
+        bytes_on_wire: 0,
     }
 }
 
@@ -218,6 +235,7 @@ fn radix_sort(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: total as f64 / wall_s.max(1e-12),
         outputs_match: ours == reference,
+        bytes_on_wire: 0,
     }
 }
 
@@ -281,6 +299,7 @@ fn dense_combine(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: total_pairs as f64 / wall_s.max(1e-12),
         outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+        bytes_on_wire: 0,
     }
 }
 
@@ -373,6 +392,7 @@ fn dense_reduce(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: total_pairs as f64 / wall_s.max(1e-12),
         outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+        bytes_on_wire: 0,
     }
 }
 
@@ -429,6 +449,69 @@ fn shuffle_throughput(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: total_pairs as f64 / wall_s.max(1e-12),
         outputs_match: ours.outputs == reference.outputs && ours.metrics == reference.metrics,
+        bytes_on_wire: 0,
+    }
+}
+
+/// Satellite (PR 7): the multi-process engine's framed shuffle against
+/// the in-process pipelined engine on the identical job. The timed side
+/// really forks map workers and ships every intermediate pair over a
+/// Unix pipe in the wire encoding; `items_per_s` is measured
+/// **bytes-on-wire per second**, and output equality demands the usual
+/// bit-identical outputs and logical metrics across the process
+/// boundary. The thread budget doubles as the worker-process count, so
+/// the `_t1`/`_t4` sections gate 1- and 4-worker topologies.
+#[cfg(unix)]
+fn wire_shuffle(opts: SuiteOptions) -> BenchRecord {
+    let (splits, pairs_per_split) = if opts.fast {
+        (8, 40_000)
+    } else {
+        (16, 150_000)
+    };
+    let cluster = ClusterConfig::single_machine();
+
+    let run = |engine: EngineConfig| {
+        let tasks: Vec<MapTask<u64, u64>> = (0..splits as u32)
+            .map(|j| {
+                MapTask::new(j, move |ctx| {
+                    let mut x = 0x9e3779b97f4a7c15u64 ^ (u64::from(j) << 32);
+                    for i in 0..pairs_per_split as u64 {
+                        x = x.wrapping_add(0x9e3779b97f4a7c15);
+                        let mut z = x;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                        ctx.emit(z % (1 << 18), i);
+                    }
+                })
+            })
+            .collect();
+        let spec = JobSpec::new(
+            "wire-shuffle",
+            tasks,
+            |k: &u64, vs: &[u64], ctx: &mut wh_mapreduce::ReduceContext<(u64, u64)>| {
+                ctx.emit((*k, vs.len() as u64));
+            },
+        )
+        .with_radix_keys()
+        .with_wire_codec()
+        .with_engine(with_threads(
+            engine.with_reducers(8).with_key_domain(1 << 18),
+            opts.threads,
+        ));
+        run_job(&cluster, spec)
+    };
+
+    let (ref_s, reference) = time_best(opts.repeats, || run(EngineConfig::pipelined()));
+    let (wall_s, ours) = time_best(opts.repeats, || run(EngineConfig::multi_process()));
+    let bytes = ours.metrics.wire.pair_bytes;
+    BenchRecord {
+        name: "wire_shuffle",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: bytes as f64 / wall_s.max(1e-12),
+        outputs_match: ours.outputs == reference.outputs
+            && ours.metrics == reference.metrics
+            && bytes > 0,
+        bytes_on_wire: bytes,
     }
 }
 
@@ -483,6 +566,7 @@ fn end_to_end<B: HistogramBuilder>(
         reference_wall_s: ref_s,
         items_per_s: dataset.num_records() as f64 / wall_s.max(1e-12),
         outputs_match: same_histogram && same_metrics,
+        bytes_on_wire: 0,
     }
 }
 
@@ -604,6 +688,7 @@ fn query_throughput(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: num_queries as f64 / wall_s.max(1e-12),
         outputs_match,
+        bytes_on_wire: 0,
     }
 }
 
@@ -725,6 +810,7 @@ fn serve_throughput(opts: SuiteOptions) -> BenchRecord {
         reference_wall_s: ref_s,
         items_per_s: (ROUNDS * num_queries) as f64 / wall_s.max(1e-12),
         outputs_match,
+        bytes_on_wire: 0,
     }
 }
 
@@ -752,7 +838,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \
              \"speedup\": {:.3}, \"relative_cost\": {:.4}, \"items_per_s\": {:.1}, \
-             \"outputs_match\": {}}}{}\n",
+             \"outputs_match\": {}, \"bytes_on_wire\": {}}}{}\n",
             r.name,
             r.wall_s,
             r.reference_wall_s,
@@ -760,13 +846,14 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
             r.relative_cost(),
             r.items_per_s,
             r.outputs_match,
+            r.bytes_on_wire,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR6.json`
+/// Renders the machine-readable suite report (the `BENCH_PR7.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -775,7 +862,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR6\",\n");
+    out.push_str("  \"suite\": \"PR7\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -896,6 +983,18 @@ pub fn check_regression(
 /// run summary without downloading the report artifact. Entries the
 /// baseline cannot resolve render as `—`; this function never fails, it
 /// only reports ([`check_regression`] is the gate).
+/// Human-readable bytes for the delta table: `—` when nothing crossed a
+/// process boundary.
+fn format_wire_bytes(bytes: u64) -> String {
+    if bytes == 0 {
+        "—".to_string()
+    } else if bytes < 1 << 20 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64)
+    }
+}
+
 pub fn render_delta_table(baseline_json: &str, records: &[BenchRecord], section: &str) -> String {
     let baseline = serde_json::parse(baseline_json).ok();
     let benches = baseline
@@ -906,8 +1005,8 @@ pub fn render_delta_table(baseline_json: &str, records: &[BenchRecord], section:
             _ => None,
         });
     let mut out = format!("### Bench gate — `{section}`\n\n");
-    out.push_str("| bench | baseline cost | current cost | delta | outputs |\n");
-    out.push_str("|---|---:|---:|---:|:---:|\n");
+    out.push_str("| bench | baseline cost | current cost | delta | bytes on wire | outputs |\n");
+    out.push_str("|---|---:|---:|---:|---:|:---:|\n");
     for r in records {
         let base_cost = benches.as_ref().and_then(|items| {
             items
@@ -932,12 +1031,13 @@ pub fn render_delta_table(baseline_json: &str, records: &[BenchRecord], section:
             ""
         };
         out.push_str(&format!(
-            "| {} | {} | {:.4} | {}{} | {} |\n",
+            "| {} | {} | {:.4} | {}{} | {} | {} |\n",
             r.name,
             base_cell,
             current,
             delta_cell,
             noise,
+            format_wire_bytes(r.bytes_on_wire),
             if r.outputs_match {
                 "✓"
             } else {
@@ -959,6 +1059,7 @@ mod tests {
             reference_wall_s: reference,
             items_per_s: 1.0,
             outputs_match: true,
+            bytes_on_wire: 0,
         }
     }
 
@@ -993,7 +1094,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR6".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR7".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -1083,15 +1184,45 @@ mod tests {
             "fast_benches_t1",
         );
         assert!(table.contains("`fast_benches_t1`"), "{table}");
-        // x: baseline cost 0.5, current 0.75 → +50%.
+        // x: baseline cost 0.5, current 0.75 → +50%; no wire traffic.
         assert!(
-            table.contains("| x | 0.5000 | 0.7500 | +50.0% | ✓ |"),
+            table.contains("| x | 0.5000 | 0.7500 | +50.0% | — | ✓ |"),
             "{table}"
         );
         // z: no baseline entry → em-dashes, divergence flagged.
         assert!(
-            table.contains("| z | — | 0.5000 | — | ✗ diverged |"),
+            table.contains("| z | — | 0.5000 | — | — | ✗ diverged |"),
             "{table}"
+        );
+    }
+
+    #[test]
+    fn delta_table_renders_measured_wire_bytes() {
+        let baseline = one_section("fast_benches_t1", &[record("wire_shuffle", 0.5, 0.25)]);
+        let mut wired = record("wire_shuffle", 0.5, 0.25);
+        wired.bytes_on_wire = 3 << 20;
+        let table = render_delta_table(&baseline, &[wired], "fast_benches_t1");
+        assert!(table.contains("| 3.0 MiB |"), "{table}");
+        assert_eq!(format_wire_bytes(0), "—");
+        assert_eq!(format_wire_bytes(512), "512 B");
+        assert_eq!(format_wire_bytes(1 << 21), "2.0 MiB");
+    }
+
+    #[test]
+    fn json_carries_bytes_on_wire() {
+        let mut r = record("wire_shuffle", 0.5, 0.25);
+        r.bytes_on_wire = 12_345;
+        let json = one_section("benches", &[r]);
+        let v = serde_json::parse(&json).expect("valid JSON");
+        let bench = match v.get("benches") {
+            Some(serde_json::Value::Array(items)) => items[0].clone(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(
+            bench
+                .get("bytes_on_wire")
+                .and_then(serde_json::Value::as_f64),
+            Some(12_345.0)
         );
     }
 
@@ -1105,10 +1236,14 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 10);
+        assert_eq!(records.len(), 10 + usize::from(cfg!(unix)));
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);
+        }
+        // The wire bench must have measured real cross-process traffic.
+        if let Some(w) = records.iter().find(|r| r.name == "wire_shuffle") {
+            assert!(w.bytes_on_wire > 0, "wire_shuffle measured no traffic");
         }
     }
 }

@@ -105,6 +105,7 @@ impl HistogramBuilder for BasicS {
         // key range at run time, so the loose-looking hint costs nothing.
         let spec = JobSpec::new("basic-s", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let s = s_finish.lock();

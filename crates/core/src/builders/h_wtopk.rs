@@ -45,12 +45,6 @@ fn payload(flags: u8, split: u32, w: f64) -> Payload {
     WSized::new((flags, split, w), 12)
 }
 
-/// Per-split state carried between rounds: local coefficients not yet sent.
-#[derive(Debug, Clone, Default)]
-struct SplitState {
-    remaining: Vec<(u64, f64)>,
-}
-
 /// The H-WTopk exact builder.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HWTopk {
@@ -135,14 +129,18 @@ impl HistogramBuilder for HWTopk {
                         }
                         ctx.emit(WKey::four(slot), payload(flags, j, sent[&slot]));
                     }
-                    // Persist un-sent coefficients for rounds 2–3.
+                    // Persist un-sent coefficients for rounds 2–3. The
+                    // wire-encoded save path keeps the state process-safe:
+                    // under the multi-process engine these bytes ride the
+                    // journal back to the coordinator (the paper's local
+                    // HDFS state file — still free of *charged* network).
                     let mut remaining: Vec<(u64, f64)> = coefs
                         .iter()
                         .filter(|(slot, _)| !sent.contains_key(slot))
                         .map(|(&s, &w)| (s, w))
                         .collect();
                     remaining.sort_unstable_by_key(|&(s, _)| s);
-                    state.save(j, SplitState { remaining });
+                    state.save_wire(j, &remaining);
                 })
             })
             .collect();
@@ -167,6 +165,8 @@ impl HistogramBuilder for HWTopk {
             cluster,
             JobSpec::new("h-wtopk-r1", map_tasks, reduce)
                 .with_radix_keys()
+                .with_wire_codec()
+                .with_state_store(Arc::clone(&state))
                 .with_engine(engine),
         );
         metrics.absorb(&out.metrics);
@@ -196,15 +196,14 @@ impl HistogramBuilder for HWTopk {
             .map(|j| {
                 let state = Arc::clone(&state);
                 MapTask::new(j, move |ctx| {
-                    let mut st: SplitState = state.take(j).unwrap_or_default();
-                    ctx.charge(st.remaining.len() as f64);
+                    let remaining: Vec<(u64, f64)> = state.take_wire(j).unwrap_or_default();
+                    ctx.charge(remaining.len() as f64);
                     let (send, keep): (Vec<_>, Vec<_>) =
-                        st.remaining.into_iter().partition(|&(_, w)| w.abs() > tau);
+                        remaining.into_iter().partition(|&(_, w)| w.abs() > tau);
                     for &(slot, w) in &send {
                         ctx.emit(WKey::four(slot), payload(0, j, w));
                     }
-                    st.remaining = keep;
-                    state.save(j, st);
+                    state.save_wire(j, &keep);
                 })
             })
             .collect();
@@ -223,6 +222,8 @@ impl HistogramBuilder for HWTopk {
             cluster,
             JobSpec::new("h-wtopk-r2", map_tasks, reduce)
                 .with_radix_keys()
+                .with_wire_codec()
+                .with_state_store(Arc::clone(&state))
                 .with_engine(engine)
                 .with_broadcast(8),
         );
@@ -243,9 +244,9 @@ impl HistogramBuilder for HWTopk {
                 let state = Arc::clone(&state);
                 let cands = Arc::clone(&candidate_set);
                 MapTask::new(j, move |ctx| {
-                    let st: SplitState = state.take(j).unwrap_or_default();
-                    ctx.charge(st.remaining.len() as f64);
-                    for &(slot, w) in &st.remaining {
+                    let remaining: Vec<(u64, f64)> = state.take_wire(j).unwrap_or_default();
+                    ctx.charge(remaining.len() as f64);
+                    for &(slot, w) in &remaining {
                         if cands.contains(&slot) {
                             ctx.emit(WKey::four(slot), payload(0, j, w));
                         }
@@ -268,6 +269,8 @@ impl HistogramBuilder for HWTopk {
             cluster,
             JobSpec::new("h-wtopk-r3", map_tasks, reduce)
                 .with_radix_keys()
+                .with_wire_codec()
+                .with_state_store(Arc::clone(&state))
                 .with_engine(engine)
                 .with_broadcast(4 * candidates.len() as u64),
         );

@@ -87,6 +87,7 @@ impl HistogramBuilder for ImprovedS {
         // at run time, so the loose-looking hint costs nothing.
         let spec = JobSpec::new("improved-s", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let s = s_finish.lock();

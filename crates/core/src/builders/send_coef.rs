@@ -87,6 +87,7 @@ impl HistogramBuilder for SendCoef {
         // key range (hash partitioning spreads [0, u) across reducers).
         let spec = JobSpec::new("send-coef", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let w = acc_finish.lock();

@@ -111,6 +111,7 @@ impl HistogramBuilder for SendSketch {
         let merged_finish = Arc::clone(&merged);
         let spec = JobSpec::new("send-sketch", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(counter_domain))
             .with_finish(move |ctx| {
                 let sketch = merged_finish.lock();

@@ -114,6 +114,7 @@ impl HistogramBuilder for SendSketchAms {
         // `u` — dense-reduce slot arrays stay a few KB per partition.
         let spec = JobSpec::new("send-sketch-ams", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain((rows * cols) as u64))
             .with_finish(move |ctx| {
                 let sketch = merged_finish.lock();

@@ -87,6 +87,7 @@ impl HistogramBuilder for SendV {
         // themselves to each partition's actual key range.
         let spec = JobSpec::new("send-v", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let v = v_finish.lock();

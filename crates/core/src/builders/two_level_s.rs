@@ -17,7 +17,9 @@ use super::{ops, BuildResult, HistogramBuilder};
 use crate::histogram::WaveletHistogram;
 use wh_data::{Dataset, SplitMix64};
 use wh_mapreduce::wire::WKey;
-use wh_mapreduce::{run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, WireSize};
+use wh_mapreduce::{
+    run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, WireCodec, WireError, WireSize,
+};
 use wh_sampling::{SamplingConfig, TwoLevelAccumulator, TwoLevelPair};
 use wh_wavelet::hash::FxHashMap;
 use wh_wavelet::select::top_k_magnitude;
@@ -33,6 +35,29 @@ impl WireSize for TlValue {
         match self.0 {
             TwoLevelPair::Count(_) => 4,
             TwoLevelPair::Marker => 0,
+        }
+    }
+}
+
+// Physical encoding for the multi-process engine: a tag byte, plus the
+// count for `Count`. (The *accounted* wire size above stays the paper's
+// idealized 4 B/0 B — framing overhead is measured separately.)
+impl WireCodec for TlValue {
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        match self.0 {
+            TwoLevelPair::Count(n) => {
+                out.push(1);
+                n.encode_wire(out);
+            }
+            TwoLevelPair::Marker => out.push(0),
+        }
+    }
+
+    fn decode_wire(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode_wire(input)? {
+            0 => Ok(TlValue(TwoLevelPair::Marker)),
+            1 => Ok(TlValue(TwoLevelPair::Count(u64::decode_wire(input)?))),
+            _ => Err(WireError::Invalid("two-level pair tag")),
         }
     }
 }
@@ -124,6 +149,7 @@ impl HistogramBuilder for TwoLevelS {
         // at run time, so the loose-looking hint costs nothing.
         let spec = JobSpec::new("two-level-s", map_tasks, reduce)
             .with_radix_keys()
+            .with_wire_codec()
             .with_engine(self.engine.with_key_domain(domain.u()))
             .with_finish(move |ctx| {
                 let s = s_finish.lock();

@@ -113,6 +113,15 @@ where
     pub fn charge(&mut self, ops: f64) {
         self.cpu_ops += ops;
     }
+
+    /// Whether this task is executing inside a forked map-worker process
+    /// ([`crate::EngineMode::MultiProcess`]) rather than an in-process
+    /// thread. Map closures behave identically in both cases — this
+    /// exists for tests that must misbehave only in the child (e.g. the
+    /// killed-worker regression) and for diagnostics.
+    pub fn in_worker_process(&self) -> bool {
+        crate::worker::in_map_worker()
+    }
 }
 
 /// Context handed to the reduce function.

@@ -154,11 +154,49 @@ pub fn round_time(
 ) -> f64 {
     let map_makespan = schedule_makespan(cluster, tasks);
     let net = cluster.network_bytes_per_s();
-    let shuffle_s = shuffle_bytes as f64 / net;
+    let shuffle_s = shuffle_seconds(cluster, shuffle_bytes);
     let broadcast_s = (broadcast_bytes as f64) * cluster.num_slaves() as f64 / net;
     let reducer_scale = cluster.machines[cluster.reducer_machine].cpu_scale;
     let reduce_s = reduce.cpu_ops / (cluster.cpu_ops_per_s * reducer_scale);
     cluster.round_overhead_s + broadcast_s + map_makespan + shuffle_s + reduce_s
+}
+
+/// The shuffle term of [`round_time`] in isolation: the time for
+/// `shuffle_bytes` of intermediate pairs to cross the switch into the
+/// single reducer's link.
+///
+/// Split out so the term can be fed *measured* traffic: under
+/// [`crate::EngineMode::MultiProcess`] the coordinator counts the bytes
+/// of every pair that really crossed a worker pipe, and
+/// [`validate_measured_shuffle`] checks that those measured bytes are the
+/// ones this model charges.
+pub fn shuffle_seconds(cluster: &ClusterConfig, shuffle_bytes: u64) -> f64 {
+    shuffle_bytes as f64 / cluster.network_bytes_per_s()
+}
+
+/// Validates the cost model's shuffle input against measured traffic.
+///
+/// Under the multi-process engine, [`crate::RunMetrics::wire`] carries
+/// `pair_bytes` summed from the pairs the coordinator actually decoded
+/// off worker pipes. The accounted `shuffle_bytes` — the quantity the
+/// [`round_time`] shuffle term charges — must equal it exactly: both are
+/// the [`crate::wire::WireSize`] total of the post-combine intermediate
+/// pairs, reached by two independent code paths.
+///
+/// Returns `Err` with a description when the run carried no framed
+/// traffic (an in-process run cannot validate anything) or when the two
+/// counters disagree.
+pub fn validate_measured_shuffle(metrics: &crate::RunMetrics) -> Result<(), String> {
+    if metrics.wire.frames == 0 {
+        return Err("no measured traffic: run the job under EngineMode::MultiProcess".into());
+    }
+    if metrics.wire.pair_bytes != metrics.shuffle_bytes {
+        return Err(format!(
+            "measured bytes-on-wire {} != accounted shuffle_bytes {}",
+            metrics.wire.pair_bytes, metrics.shuffle_bytes
+        ));
+    }
+    Ok(())
 }
 
 /// Greedy LPT schedule of map tasks onto machines; returns the makespan.
@@ -294,5 +332,34 @@ mod tests {
         c.bandwidth_fraction = 1.0;
         let t_full = round_time(&c, &[], ReduceWork::default(), 1 << 30, 0);
         assert!((t_half / t_full - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_seconds_is_the_round_time_shuffle_term() {
+        let c = ClusterConfig::paper_cluster();
+        let bytes = 12_345_678u64;
+        let with = round_time(&c, &[], ReduceWork::default(), bytes, 0);
+        let without = round_time(&c, &[], ReduceWork::default(), 0, 0);
+        assert!((with - without - shuffle_seconds(&c, bytes)).abs() < 1e-9);
+        assert_eq!(shuffle_seconds(&c, 0), 0.0);
+    }
+
+    #[test]
+    fn validate_measured_shuffle_checks_traffic() {
+        let mut m = crate::RunMetrics {
+            shuffle_bytes: 4096,
+            ..Default::default()
+        };
+        // No framed traffic: nothing to validate against.
+        let err = validate_measured_shuffle(&m).unwrap_err();
+        assert!(err.contains("no measured traffic"), "{err}");
+
+        m.wire.frames = 7;
+        m.wire.pair_bytes = 4096;
+        assert_eq!(validate_measured_shuffle(&m), Ok(()));
+
+        m.wire.pair_bytes = 4095;
+        let err = validate_measured_shuffle(&m).unwrap_err();
+        assert!(err.contains("4095") && err.contains("4096"), "{err}");
     }
 }

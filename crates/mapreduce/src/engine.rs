@@ -71,7 +71,7 @@ use parking_lot::Mutex;
 use crate::context::{MapContext, ReduceContext};
 use crate::cost::{round_time, ClusterConfig, ReduceWork, TaskWork};
 use crate::dense::{DenseReducer, DenseTable};
-use crate::job::{CombineFn, JobOutput, JobSpec, MapTask};
+use crate::job::{CombineFn, JobOutput, JobSpec, MapTask, PartitionFn};
 use crate::metrics::{ReduceStrategy, RunMetrics};
 use crate::radix::{sort_pairs_with, RadixScratch};
 use crate::wire::WireSize;
@@ -93,6 +93,12 @@ pub enum EngineMode {
     /// The seed engine (global sort + sequential reduce), kept as the
     /// executable specification and benchmark baseline.
     Reference,
+    /// Map workers as forked child processes streaming their spills to
+    /// the coordinator over the wire encoding ([`crate::worker`]).
+    /// Requires [`crate::JobSpec::with_wire_codec`]; bit-identical to the
+    /// in-process engines, and the only mode that measures
+    /// [`crate::metrics::WireTraffic`]. Unix only.
+    MultiProcess,
 }
 
 /// Execution-engine knobs, orthogonal to the algorithmic content of a
@@ -154,6 +160,17 @@ impl EngineConfig {
     pub fn reference() -> Self {
         Self {
             mode: EngineMode::Reference,
+            ..Self::default()
+        }
+    }
+
+    /// The multi-process engine: map workers as forked child processes
+    /// shipping spills over the wire encoding. `map_parallelism` becomes
+    /// the worker-*process* count (`0` = one per core, capped at the
+    /// task count).
+    pub fn multi_process() -> Self {
+        Self {
+            mode: EngineMode::MultiProcess,
             ..Self::default()
         }
     }
@@ -342,21 +359,21 @@ where
 /// a single unpartitioned list — the shape tiny tasks ship in
 /// sort-at-reduce mode, where per-task partition buffers would cost more
 /// than the pairs they hold and the shuffle scatters instead.
-struct TaskSpill<K, V> {
-    split_id: u32,
-    runs: Vec<Vec<(K, V)>>,
-    scattered: bool,
-    work: TaskWork,
-    records_read: u64,
-    pairs: u64,
-    bytes: u64,
+pub(crate) struct TaskSpill<K, V> {
+    pub(crate) split_id: u32,
+    pub(crate) runs: Vec<Vec<(K, V)>>,
+    pub(crate) scattered: bool,
+    pub(crate) work: TaskWork,
+    pub(crate) records_read: u64,
+    pub(crate) pairs: u64,
+    pub(crate) bytes: u64,
 }
 
 /// Worker-local state of the map phase, recycled across the tasks this
 /// worker executes: the emit buffer handed to each [`MapContext`], the
 /// radix-sort scratch for spill runs, and the shared combine machinery
 /// (shared with the task's streaming compactor when one is installed).
-struct MapWorker<K, V> {
+pub(crate) struct MapWorker<K, V> {
     pairs_buf: Vec<(K, V)>,
     scratch: RadixScratch,
     combine: Arc<Mutex<MapCombiner<K, V>>>,
@@ -366,12 +383,52 @@ impl<K, V> MapWorker<K, V>
 where
     K: Ord + Clone,
 {
-    fn new(codec: Option<fn(&K) -> u64>, dense_domain: Option<usize>) -> Self {
+    pub(crate) fn new(codec: Option<fn(&K) -> u64>, dense_domain: Option<usize>) -> Self {
         Self {
             pairs_buf: Vec::new(),
             scratch: RadixScratch::default(),
             combine: Arc::new(Mutex::new(MapCombiner::new(codec, dense_domain))),
         }
+    }
+}
+
+/// Map-side dense combine table eligibility: it only earns its keep when
+/// there is a combiner to run through it, a codec to index it with, and a
+/// domain small enough to sit in a flat array. Shared by the in-process
+/// and multi-process executors so both plan identically.
+pub(crate) fn dense_combine_domain(
+    has_codec: bool,
+    domain_hint: Option<u64>,
+    has_combiner: bool,
+) -> Option<usize> {
+    match (has_codec, domain_hint, has_combiner) {
+        (true, Some(u), true) if u <= DENSE_DOMAIN_MAX => Some(u as usize),
+        _ => None,
+    }
+}
+
+/// Reduce-strategy selection, fixed per job because it also decides what
+/// the map workers ship:
+///
+/// * `DenseReduce` (codec + bounded domain): partitions aggregate their
+///   unsorted runs straight into a flat slot array — nobody sorts
+///   anything, on either side.
+/// * `SortAtReduce` (codec, several partitions, domain too wide): each
+///   partition radix-sorts its split-ordered run concatenation once
+///   (stable, runs in split-id order), which is the exact merge sequence
+///   at strictly less data movement than sorted spills + merge.
+/// * `Merge` otherwise: map workers pre-sort their runs (that is what
+///   parallelizes the sort work when everything reduces in one place or
+///   keys carry no codec) and partitions k-way merge them.
+pub(crate) fn select_strategy(
+    has_codec: bool,
+    domain_hint: Option<u64>,
+    nparts: usize,
+) -> ReduceStrategy {
+    match (has_codec, domain_hint) {
+        (true, Some(u)) if u <= DENSE_DOMAIN_MAX => ReduceStrategy::DenseReduce,
+        (true, _) if nparts > 1 => ReduceStrategy::SortAtReduce,
+        _ => ReduceStrategy::Merge,
     }
 }
 
@@ -396,31 +453,12 @@ where
     } = spec;
     assert!(engine.num_reducers >= 1, "need at least one reducer");
     let nparts = engine.num_reducers as usize;
-    // The map-side dense combine table only earns its keep when there is
-    // a combiner to run through it, a codec to index it with, and a
-    // domain small enough to sit in a flat array.
-    let dense_domain: Option<usize> = match (key_codec, engine.key_domain_hint, &combiner) {
-        (Some(_), Some(u), Some(_)) if u <= DENSE_DOMAIN_MAX => Some(u as usize),
-        _ => None,
-    };
-    // Reduce-strategy selection, fixed per job because it also decides
-    // what the map workers ship:
-    //
-    // * `DenseReduce` (codec + bounded domain): partitions aggregate
-    //   their unsorted runs straight into a flat slot array — nobody
-    //   sorts anything, on either side.
-    // * `SortAtReduce` (codec, several partitions, domain too wide):
-    //   each partition radix-sorts its concatenated runs once (stable,
-    //   runs in split-id order), which is the exact merge sequence at
-    //   strictly less data movement than sorted spills + merge.
-    // * `Merge` otherwise: map workers pre-sort their runs (that is what
-    //   parallelizes the sort work when everything reduces in one place
-    //   or keys carry no codec) and partitions k-way merge them.
-    let strategy = match (key_codec, engine.key_domain_hint) {
-        (Some(_), Some(u)) if u <= DENSE_DOMAIN_MAX => ReduceStrategy::DenseReduce,
-        (Some(_), _) if nparts > 1 => ReduceStrategy::SortAtReduce,
-        _ => ReduceStrategy::Merge,
-    };
+    let dense_domain = dense_combine_domain(
+        key_codec.is_some(),
+        engine.key_domain_hint,
+        combiner.is_some(),
+    );
+    let strategy = select_strategy(key_codec.is_some(), engine.key_domain_hint, nparts);
 
     // ---- Map phase (parallel): run, combine, partition, sort — all
     // inside the worker thread that owns the task. ----
@@ -437,84 +475,17 @@ where
             break;
         }
         let task = task_queue[i].lock().take().expect("each task taken once");
-        let mut ctx = MapContext::with_buffer(task.split_id, std::mem::take(&mut state.pairs_buf));
-        if engine.streaming_combine {
-            if let Some(comb) = &combiner {
-                ctx.install_compactor(
-                    make_compactor(CombineFn::clone(comb), Arc::clone(&state.combine)),
-                    engine.spill_chunk,
-                );
-            }
-        }
-        (task.run)(&mut ctx);
-        let MapContext {
-            mut pairs,
-            compactor,
-            records_read,
-            bytes_read,
-            cpu_ops,
-            ..
-        } = ctx;
-        if let Some(compact) = &compactor {
-            // Streaming mode: one final full grouping so every key
-            // ends fully combined, exactly like the batch path.
-            compact(&mut pairs);
-        } else if let Some(comb) = &combiner {
-            state.combine.lock().combine(&mut pairs, comb.as_ref());
-        }
-        let mut npairs = 0u64;
-        let mut nbytes = 0u64;
-        for (k, v) in &pairs {
-            npairs += 1;
-            nbytes += k.wire_bytes() + v.wire_bytes();
-        }
-        let (mut runs, scattered): (Vec<Vec<(K, V)>>, bool) = if nparts == 1 {
-            (vec![std::mem::take(&mut pairs)], true)
-        } else if strategy != ReduceStrategy::Merge && pairs.len() < SCATTER_MIN_PAIRS {
-            // Tiny task in a no-merge mode: ship the pairs flat and let
-            // the shuffle scatter them — R per-task partition buffers
-            // would cost more than the pairs they hold.
-            (vec![std::mem::take(&mut pairs)], false)
-        } else {
-            // Reserve the expected per-partition share up front so the
-            // scatter loop rarely reallocates.
-            let expect = pairs.len() / nparts + 16;
-            let mut rs: Vec<Vec<(K, V)>> =
-                (0..nparts).map(|_| Vec::with_capacity(expect)).collect();
-            for (k, v) in pairs.drain(..) {
-                let p = (partitioner(&k) % nparts as u64) as usize;
-                rs[p].push((k, v));
-            }
-            (rs, true)
-        };
-        // The (now empty) emit buffer keeps its allocation for the next
-        // task this worker picks up.
-        state.pairs_buf = pairs;
-        if strategy == ReduceStrategy::Merge {
-            // Only the merge strategy consumes pre-sorted runs; the dense
-            // and sort-at-reduce partitions take them in arrival order.
-            for run in &mut runs {
-                // Stable by key: arrival order within a key survives. The
-                // radix sort produces the identical permutation when the
-                // job declared a key codec.
-                match key_codec {
-                    Some(codec) => sort_pairs_with(run, codec, &mut state.scratch),
-                    None => run.sort_by(|a, b| a.0.cmp(&b.0)),
-                }
-            }
-        }
-        spills.lock().push(TaskSpill {
-            split_id: task.split_id,
-            runs,
-            scattered,
-            work: TaskWork {
-                bytes_scanned: bytes_read,
-                cpu_ops,
-            },
-            records_read,
-            pairs: npairs,
-            bytes: nbytes,
-        });
+        let spill = run_one_task(
+            task,
+            &engine,
+            nparts,
+            strategy,
+            &combiner,
+            &partitioner,
+            key_codec,
+            state,
+        );
+        spills.lock().push(spill);
     };
 
     if workers <= 1 {
@@ -534,6 +505,145 @@ where
     per_task.sort_by_key(|t| t.split_id);
     let wall_map_s = map_start.elapsed().as_secs_f64();
 
+    shuffle_reduce_finish(
+        cluster,
+        &engine,
+        per_task,
+        &partitioner,
+        reduce,
+        finish,
+        broadcast_bytes,
+        strategy,
+        key_codec,
+        wall_map_s,
+    )
+}
+
+/// Runs one map task to a [`TaskSpill`]: execute the closure, combine,
+/// partition (or ship flat), and pre-sort runs when the job merges at
+/// reduce time. This is the unit of map work shared **verbatim** by the
+/// threaded executor above and the forked workers of
+/// [`crate::worker::execute_multiprocess`] — sharing it is what makes the
+/// two modes bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_one_task<K, V>(
+    task: MapTask<K, V>,
+    engine: &EngineConfig,
+    nparts: usize,
+    strategy: ReduceStrategy,
+    combiner: &Option<CombineFn<K, V>>,
+    partitioner: &PartitionFn<K>,
+    key_codec: Option<fn(&K) -> u64>,
+    state: &mut MapWorker<K, V>,
+) -> TaskSpill<K, V>
+where
+    K: Ord + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
+{
+    let mut ctx = MapContext::with_buffer(task.split_id, std::mem::take(&mut state.pairs_buf));
+    if engine.streaming_combine {
+        if let Some(comb) = combiner {
+            ctx.install_compactor(
+                make_compactor(CombineFn::clone(comb), Arc::clone(&state.combine)),
+                engine.spill_chunk,
+            );
+        }
+    }
+    (task.run)(&mut ctx);
+    let MapContext {
+        mut pairs,
+        compactor,
+        records_read,
+        bytes_read,
+        cpu_ops,
+        ..
+    } = ctx;
+    if let Some(compact) = &compactor {
+        // Streaming mode: one final full grouping so every key
+        // ends fully combined, exactly like the batch path.
+        compact(&mut pairs);
+    } else if let Some(comb) = combiner {
+        state.combine.lock().combine(&mut pairs, comb.as_ref());
+    }
+    let mut npairs = 0u64;
+    let mut nbytes = 0u64;
+    for (k, v) in &pairs {
+        npairs += 1;
+        nbytes += k.wire_bytes() + v.wire_bytes();
+    }
+    let (mut runs, scattered): (Vec<Vec<(K, V)>>, bool) = if nparts == 1 {
+        (vec![std::mem::take(&mut pairs)], true)
+    } else if strategy != ReduceStrategy::Merge && pairs.len() < SCATTER_MIN_PAIRS {
+        // Tiny task in a no-merge mode: ship the pairs flat and let
+        // the shuffle scatter them — R per-task partition buffers
+        // would cost more than the pairs they hold.
+        (vec![std::mem::take(&mut pairs)], false)
+    } else {
+        // Reserve the expected per-partition share up front so the
+        // scatter loop rarely reallocates.
+        let expect = pairs.len() / nparts + 16;
+        let mut rs: Vec<Vec<(K, V)>> = (0..nparts).map(|_| Vec::with_capacity(expect)).collect();
+        for (k, v) in pairs.drain(..) {
+            let p = (partitioner(&k) % nparts as u64) as usize;
+            rs[p].push((k, v));
+        }
+        (rs, true)
+    };
+    // The (now empty) emit buffer keeps its allocation for the next
+    // task this worker picks up.
+    state.pairs_buf = pairs;
+    if strategy == ReduceStrategy::Merge {
+        // Only the merge strategy consumes pre-sorted runs; the dense
+        // and sort-at-reduce partitions take them in arrival order.
+        for run in &mut runs {
+            // Stable by key: arrival order within a key survives. The
+            // radix sort produces the identical permutation when the
+            // job declared a key codec.
+            match key_codec {
+                Some(codec) => sort_pairs_with(run, codec, &mut state.scratch),
+                None => run.sort_by(|a, b| a.0.cmp(&b.0)),
+            }
+        }
+    }
+    TaskSpill {
+        split_id: task.split_id,
+        runs,
+        scattered,
+        work: TaskWork {
+            bytes_scanned: bytes_read,
+            cpu_ops,
+        },
+        records_read,
+        pairs: npairs,
+        bytes: nbytes,
+    }
+}
+
+/// Everything after the map phase: regroup spills into per-partition
+/// reduce inputs, reduce (optionally in parallel), stitch outputs, run
+/// the Close hook, and assemble [`RunMetrics`]. `per_task` must be
+/// sorted by split id. Shared by the threaded executor and the
+/// multi-process coordinator ([`crate::worker`]) — everything downstream
+/// of map transport is the same code in both modes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shuffle_reduce_finish<K, V, R>(
+    cluster: &ClusterConfig,
+    engine: &EngineConfig,
+    per_task: Vec<TaskSpill<K, V>>,
+    partitioner: &PartitionFn<K>,
+    reduce: crate::job::ReduceFn<K, V, R>,
+    finish: Option<crate::job::FinishFn<R>>,
+    broadcast_bytes: u64,
+    strategy: ReduceStrategy,
+    key_codec: Option<fn(&K) -> u64>,
+    wall_map_s: f64,
+) -> JobOutput<R>
+where
+    K: Ord + Send,
+    V: Send,
+    R: Send,
+{
+    let nparts = engine.num_reducers as usize;
     // ---- Shuffle: regroup spill runs into per-partition merge inputs
     // (runs stay in split-id order) and account communication. ----
     let shuffle_start = Instant::now();

@@ -24,7 +24,9 @@ use crate::cost::ClusterConfig;
 use crate::engine::{self, EngineConfig, EngineMode};
 use crate::metrics::RunMetrics;
 use crate::reference;
-use crate::wire::WireSize;
+use crate::state::StateStore;
+use crate::transport::EngineError;
+use crate::wire::{WireCodec, WireError, WireSize};
 
 /// The boxed closure a map task runs.
 pub type MapFn<K, V> = Box<dyn FnOnce(&mut MapContext<K, V>) + Send>;
@@ -50,6 +52,25 @@ pub type ReduceFn<K, V, R> = Arc<dyn Fn(&K, &[V], &mut ReduceContext<R>) + Send 
 
 /// Maps a key to a reduce partition (taken modulo the reducer count).
 pub type PartitionFn<K> = Arc<dyn Fn(&K) -> u64 + Send + Sync>;
+
+/// Fn-pointer decoder for one `(K, V)` pair from a wire byte stream.
+pub(crate) type PairDecodeFn<K, V> = fn(&mut &[u8]) -> Result<(K, V), WireError>;
+
+/// Fn-pointer vtable encoding/decoding one `(K, V)` pair with the
+/// [`WireCodec`] byte format, installed by [`JobSpec::with_wire_codec`].
+/// Plain fn pointers (like the radix `key_codec`) so the spec stays
+/// `Copy`-friendly and the codec can cross a fork without closures.
+pub(crate) struct PairCodec<K, V> {
+    pub(crate) encode: fn(&K, &V, &mut Vec<u8>),
+    pub(crate) decode: PairDecodeFn<K, V>,
+}
+
+impl<K, V> Clone for PairCodec<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for PairCodec<K, V> {}
 
 /// One map task: a closure run against its [`MapContext`].
 pub struct MapTask<K, V> {
@@ -103,6 +124,15 @@ pub struct JobSpec<K, V, R> {
     /// crate-private so only the sealed trait can supply codecs — the
     /// engine's determinism contract depends on order preservation.
     pub(crate) key_codec: Option<fn(&K) -> u64>,
+    /// Pair wire codec, installed by [`JobSpec::with_wire_codec`].
+    /// Required by (and only used in) [`EngineMode::MultiProcess`],
+    /// where worker processes ship their spills as encoded bytes.
+    pub(crate) pair_codec: Option<PairCodec<K, V>>,
+    /// The per-split state store this job's map tasks use across rounds,
+    /// when any ([`JobSpec::with_state_store`]). The multi-process mode
+    /// needs the handle to replay worker-side `save_wire`/`take_wire`
+    /// journals in the coordinator; in-process modes ignore it.
+    pub(crate) state: Option<Arc<StateStore>>,
 }
 
 impl<K, V, R> JobSpec<K, V, R>
@@ -127,6 +157,8 @@ where
             finish: None,
             engine: EngineConfig::default(),
             key_codec: None,
+            pair_codec: None,
+            state: None,
         }
     }
 
@@ -189,6 +221,36 @@ where
         self.partitioner = Arc::new(f);
         self
     }
+
+    /// Installs the [`WireCodec`] pair encoding, making the job eligible
+    /// for [`EngineMode::MultiProcess`] (which refuses to run without
+    /// it). Purely a transport declaration: in-process modes ignore it,
+    /// and the multi-process mode is differential-tested bit-identical,
+    /// so installing it never changes outputs or logical metrics.
+    pub fn with_wire_codec(mut self) -> Self
+    where
+        K: WireCodec,
+        V: WireCodec,
+    {
+        self.pair_codec = Some(PairCodec {
+            encode: |k, v, out| {
+                k.encode_wire(out);
+                v.encode_wire(out);
+            },
+            decode: |input| Ok((K::decode_wire(input)?, V::decode_wire(input)?)),
+        });
+        self
+    }
+
+    /// Hands the job the [`StateStore`] its map tasks read and write
+    /// across rounds. In-process engines don't need this (tasks capture
+    /// the store's `Arc` directly); the multi-process coordinator uses
+    /// the handle to replay the wire-state journal its forked workers
+    /// record through [`StateStore::save_wire`]/[`StateStore::take_wire`].
+    pub fn with_state_store(mut self, store: Arc<StateStore>) -> Self {
+        self.state = Some(store);
+        self
+    }
 }
 
 /// The result of one round.
@@ -202,17 +264,38 @@ pub struct JobOutput<R> {
 }
 
 /// Executes one MapReduce round on `cluster` with the engine selected by
-/// `spec.engine.mode`.
-pub fn run_job<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
+/// `spec.engine.mode`, surfacing multi-process transport failures as a
+/// typed [`EngineError`]. The in-process modes are infallible; only
+/// [`EngineMode::MultiProcess`] can return `Err` (missing wire codec,
+/// dead worker, truncated frame, unsupported platform).
+pub fn try_run_job<K, V, R>(
+    cluster: &ClusterConfig,
+    spec: JobSpec<K, V, R>,
+) -> Result<JobOutput<R>, EngineError>
 where
     K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
     V: Send + WireSize + 'static,
     R: Send,
 {
     match spec.engine.mode {
-        EngineMode::Pipelined => engine::execute(cluster, spec),
-        EngineMode::Reference => reference::run_job_reference(cluster, spec),
+        EngineMode::Pipelined => Ok(engine::execute(cluster, spec)),
+        EngineMode::Reference => Ok(reference::run_job_reference(cluster, spec)),
+        EngineMode::MultiProcess => crate::worker::execute_multiprocess(cluster, spec),
     }
+}
+
+/// Executes one MapReduce round on `cluster` with the engine selected by
+/// `spec.engine.mode`, panicking on transport failure (the historical
+/// interface — in-process modes cannot fail; use [`try_run_job`] to
+/// handle multi-process errors).
+pub fn run_job<K, V, R>(cluster: &ClusterConfig, spec: JobSpec<K, V, R>) -> JobOutput<R>
+where
+    K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
+    V: Send + WireSize + 'static,
+    R: Send,
+{
+    let name = spec.name.clone();
+    try_run_job(cluster, spec).unwrap_or_else(|e| panic!("job '{name}' failed: {e}"))
 }
 
 #[cfg(test)]

@@ -60,6 +60,18 @@
 //! choice per partition in [`RunMetrics::reduce_strategies`]. Reduce
 //! workers recycle their scratch (radix buffers + dense table) across
 //! partitions exactly like map workers recycle theirs across tasks.
+//!
+//! Since PR 7 the engine also runs **distributed**:
+//! [`EngineMode::MultiProcess`] forks map workers as child processes that
+//! stream their spills back over length-prefixed frames in the
+//! [`wire::WireCodec`] encoding ([`transport`], [`worker`]), so the
+//! paper's communication is *measured* from real framed traffic
+//! ([`RunMetrics::wire`], [`metrics::WireTraffic`]) instead of only
+//! accounted. Jobs opt in with [`JobSpec::with_wire_codec`]; outputs and
+//! logical metrics stay bit-identical to the in-process engines, worker
+//! failures surface as a typed [`EngineError`] through [`try_run_job`],
+//! and the measured bytes validate the [`cost`] model's shuffle term
+//! ([`cost::validate_measured_shuffle`]).
 
 pub mod context;
 pub mod cost;
@@ -70,14 +82,18 @@ pub mod metrics;
 pub mod radix;
 pub mod reference;
 pub mod state;
+pub mod transport;
 pub mod wire;
+pub mod worker;
 
 pub use context::{MapContext, ReduceContext};
 pub use cost::{ClusterConfig, MachineSpec};
 pub use engine::{EngineConfig, EngineMode};
-pub use job::{run_job, JobOutput, JobSpec, MapTask};
-pub use metrics::{ReduceStrategy, ReduceStrategyCounts, RunMetrics};
+pub use job::{run_job, try_run_job, JobOutput, JobSpec, MapTask};
+pub use metrics::{ReduceStrategy, ReduceStrategyCounts, RunMetrics, WireTraffic};
 pub use radix::RadixKey;
 pub use reference::run_job_reference;
 pub use state::StateStore;
-pub use wire::WireSize;
+pub use transport::EngineError;
+pub use wire::{WireCodec, WireError, WireSize};
+pub use worker::in_map_worker;

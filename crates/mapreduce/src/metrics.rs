@@ -77,6 +77,52 @@ impl fmt::Display for ReduceStrategyCounts {
     }
 }
 
+/// Measured framed traffic of a multi-process run: what actually crossed
+/// the worker → coordinator pipes, counted from the frames themselves.
+///
+/// All zero for in-process runs (nothing crosses a process boundary
+/// there). Like wall-clock, these are *measurements* of a particular
+/// execution, not logical properties of the job, so they are **excluded
+/// from `PartialEq`** on [`RunMetrics`] — a multi-process run still
+/// compares equal to its in-process twin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTraffic {
+    /// Bytes of shuffled pairs on the wire, in the job's declared
+    /// [`crate::wire::WireCodec`] encoding — the measured counterpart of
+    /// [`RunMetrics::shuffle_bytes`], and equal to it by construction
+    /// (`cost::validate_measured_shuffle` checks exactly this).
+    pub pair_bytes: u64,
+    /// Physical bytes through the framed pipes, including the 5-byte
+    /// frame headers and control/state frames.
+    pub frame_bytes: u64,
+    /// Frames received by the coordinator.
+    pub frames: u64,
+    /// Bytes of per-split state journal payloads shipped between rounds
+    /// (the paper persists this to local HDFS, so it is accounted apart
+    /// from communication).
+    pub state_bytes: u64,
+    /// Worker processes forked for the map phase.
+    pub workers: u32,
+    /// Mapper↔reducer communication rounds that actually crossed the
+    /// wire. A job with broadcast bytes counts one (its reduce output
+    /// feeds the next round's broadcast); a terminal job counts zero
+    /// extra — so H-WTopk's three MapReduce rounds measure exactly the
+    /// paper's two communication rounds.
+    pub comm_rounds: u32,
+}
+
+impl WireTraffic {
+    /// Accumulates another round's traffic.
+    fn absorb(&mut self, other: &WireTraffic) {
+        self.pair_bytes += other.pair_bytes;
+        self.frame_bytes += other.frame_bytes;
+        self.frames += other.frames;
+        self.state_bytes += other.state_bytes;
+        self.workers += other.workers;
+        self.comm_rounds += other.comm_rounds;
+    }
+}
+
 /// Accumulated measurements of one job or one complete algorithm run
 /// (possibly multiple MapReduce rounds).
 ///
@@ -139,12 +185,23 @@ pub struct RunMetrics {
     /// `PartialEq` like the wall-clock fields: strategy selection is an
     /// execution detail that must never affect result comparison.
     pub reduce_strategies: ReduceStrategyCounts,
+    /// Measured framed traffic of the multi-process mode (all zero for
+    /// in-process runs). Excluded from `PartialEq` like wall-clock:
+    /// how bytes moved is an execution detail, how many logical bytes
+    /// were shuffled (`shuffle_bytes`) is not.
+    pub wire: WireTraffic,
 }
 
 impl RunMetrics {
     /// Total intra-cluster communication: shuffle plus broadcast.
     pub fn total_comm_bytes(&self) -> u64 {
         self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Measured bytes of shuffled pairs on the wire (zero unless the run
+    /// used [`crate::EngineMode::MultiProcess`]).
+    pub fn bytes_on_wire(&self) -> u64 {
+        self.wire.pair_bytes
     }
 
     /// Total real elapsed seconds across the three engine phases.
@@ -166,6 +223,7 @@ impl RunMetrics {
         self.wall_shuffle_s += other.wall_shuffle_s;
         self.wall_reduce_s += other.wall_reduce_s;
         self.reduce_strategies.absorb(&other.reduce_strategies);
+        self.wire.absorb(&other.wire);
     }
 }
 
@@ -203,6 +261,13 @@ impl fmt::Display for RunMetrics {
         }
         if self.reduce_strategies.total() > 0 {
             write!(f, " strategies={}", self.reduce_strategies)?;
+        }
+        if self.wire.frames > 0 {
+            write!(
+                f,
+                " wire={}B/{}f ({} workers, {} comm rounds)",
+                self.wire.frame_bytes, self.wire.frames, self.wire.workers, self.wire.comm_rounds
+            )?;
         }
         Ok(())
     }
@@ -247,6 +312,14 @@ mod tests {
                 sort_at_reduce: 1,
                 merge: 0,
             },
+            wire: WireTraffic {
+                pair_bytes: 100,
+                frame_bytes: 160,
+                frames: 4,
+                state_bytes: 16,
+                workers: 2,
+                comm_rounds: 1,
+            },
         };
         let b = a;
         a.absorb(&b);
@@ -258,6 +331,38 @@ mod tests {
         assert_eq!(a.reduce_strategies.dense_reduce, 6);
         assert_eq!(a.reduce_strategies.sort_at_reduce, 2);
         assert_eq!(a.reduce_strategies.total(), 8);
+        assert_eq!(a.bytes_on_wire(), 200);
+        assert_eq!(a.wire.frame_bytes, 320);
+        assert_eq!(a.wire.frames, 8);
+        assert_eq!(a.wire.state_bytes, 32);
+        assert_eq!(a.wire.workers, 4);
+        assert_eq!(a.wire.comm_rounds, 2);
+    }
+
+    #[test]
+    fn equality_ignores_wire_traffic() {
+        // A multi-process run must compare equal to its in-process twin:
+        // how bytes physically moved is an execution detail.
+        let in_process = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            ..Default::default()
+        };
+        let multi_process = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            wire: WireTraffic {
+                pair_bytes: 64,
+                frame_bytes: 200,
+                frames: 9,
+                state_bytes: 0,
+                workers: 4,
+                comm_rounds: 1,
+            },
+            ..Default::default()
+        };
+        assert_ne!(in_process.wire, multi_process.wire);
+        assert_eq!(in_process, multi_process);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! Length-prefixed frame transport for the multi-process engine mode.
+//!
+//! The distributed engine ([`crate::worker`]) moves map output between
+//! forked worker processes and the coordinator over Unix pipes. Every
+//! message is one *frame*:
+//!
+//! ```text
+//! [len: u32 LE][tag: u8][payload: len bytes]
+//! ```
+//!
+//! `len` counts the payload only (the 5-byte header is excluded), and is
+//! capped at [`MAX_FRAME_BYTES`] so a corrupt header cannot force a huge
+//! allocation. Payloads are encoded with the [`crate::wire::WireCodec`]
+//! little-endian encodings — the same byte accounting the paper's §5
+//! experiments declare — so the bytes crossing the pipe *are* the
+//! measured communication.
+//!
+//! `FrameWriter`/`FrameReader` are generic over `io::Write`/`io::Read`
+//! and count the physical bytes and frames they move; the Unix process
+//! plumbing (fork/pipe/waitpid) lives in the `#[cfg(unix)]` half of this
+//! module and is the only unsafe code in the workspace.
+
+use std::io::{self, Read, Write};
+
+use crate::wire::WireError;
+
+/// Hard cap on a single frame's payload, chosen far above any chunk the
+/// engine writes (pair frames are cut at `PAIR_CHUNK_BYTES`) but small
+/// enough that a corrupted length prefix fails fast.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+/// Target payload size for `PAIRS` frames: large enough to amortise the
+/// header, small enough to stream (a worker never buffers a whole run).
+pub(crate) const PAIR_CHUNK_BYTES: usize = 64 << 10;
+
+/// Frame tags of the worker → coordinator protocol, in the order a worker
+/// emits them: for each task a `TASK_BEGIN`, then per partition run a
+/// `RUN_BEGIN` followed by `PAIRS` chunks, then `TASK_END`; state-store
+/// journal ops (`STATE_SAVE`/`STATE_TAKE`) interleave after their task;
+/// one final `WORKER_END` closes the stream.
+pub(crate) mod tag {
+    pub const TASK_BEGIN: u8 = 1;
+    pub const RUN_BEGIN: u8 = 2;
+    pub const PAIRS: u8 = 3;
+    pub const TASK_END: u8 = 4;
+    pub const STATE_SAVE: u8 = 5;
+    pub const STATE_TAKE: u8 = 6;
+    pub const WORKER_END: u8 = 7;
+}
+
+/// Typed failure of a multi-process job. Everything the coordinator can
+/// observe going wrong — a missing codec, a dead worker, a short or
+/// malformed frame — surfaces as one of these instead of a hang or panic.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The job was asked to run multi-process but its `JobSpec` never
+    /// installed a wire codec (`with_wire_codec`).
+    MissingWireCodec,
+    /// A worker process died before completing its tasks: killed by a
+    /// signal, or exited nonzero.
+    WorkerDied {
+        /// Index of the worker in the coordinator's spawn order.
+        worker: usize,
+        /// Exit code, when the worker exited.
+        exit_code: Option<i32>,
+        /// Signal number, when the worker was killed by a signal.
+        signal: Option<i32>,
+    },
+    /// The byte stream from a worker ended in the middle of a frame.
+    TruncatedFrame {
+        /// Index of the worker whose stream was cut short.
+        worker: usize,
+    },
+    /// A frame header declared a payload larger than [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: u32,
+    },
+    /// A structurally invalid frame sequence or payload.
+    Protocol(&'static str),
+    /// Pipe or process-management syscall failure.
+    Io(io::Error),
+    /// Multi-process mode is only implemented on Unix.
+    Unsupported,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingWireCodec => write!(
+                f,
+                "multi-process mode requires JobSpec::with_wire_codec to install a pair codec"
+            ),
+            EngineError::WorkerDied {
+                worker,
+                exit_code,
+                signal,
+            } => match (exit_code, signal) {
+                (_, Some(sig)) => write!(f, "map worker {worker} killed by signal {sig}"),
+                (Some(code), _) => write!(f, "map worker {worker} exited with code {code}"),
+                (None, None) => write!(f, "map worker {worker} died"),
+            },
+            EngineError::TruncatedFrame { worker } => {
+                write!(f, "map worker {worker} stream ended mid-frame")
+            }
+            EngineError::FrameTooLarge { declared } => write!(
+                f,
+                "frame declares {declared} payload bytes (cap {MAX_FRAME_BYTES})"
+            ),
+            EngineError::Protocol(what) => write!(f, "worker protocol violation: {what}"),
+            EngineError::Io(e) => write!(f, "transport i/o failure: {e}"),
+            EngineError::Unsupported => {
+                write!(f, "multi-process engine mode is only supported on unix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for EngineError {
+    fn from(e: io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<WireError> for EngineError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => EngineError::Protocol("payload truncated"),
+            WireError::Invalid(what) => EngineError::Protocol(what),
+        }
+    }
+}
+
+/// Writes framed messages, counting physical bytes (headers included) and
+/// frames. The worker side wraps its pipe end in a `BufWriter` underneath
+/// this, so each frame is one buffered copy, not one syscall.
+pub(crate) struct FrameWriter<W: Write> {
+    inner: W,
+    /// Physical bytes written, including the 5-byte headers.
+    pub bytes: u64,
+    /// Frames written.
+    pub frames: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            bytes: 0,
+            frames: 0,
+        }
+    }
+
+    /// Writes one `[len][tag][payload]` frame.
+    pub fn write_frame(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
+        let len = payload.len() as u32;
+        self.inner.write_all(&len.to_le_bytes())?;
+        self.inner.write_all(&[tag])?;
+        self.inner.write_all(payload)?;
+        self.bytes += 5 + u64::from(len);
+        self.frames += 1;
+        Ok(())
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reads framed messages, counting physical bytes and frames, and
+/// distinguishing a clean end-of-stream (EOF at a frame boundary) from a
+/// truncated one (EOF inside a frame).
+pub(crate) struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Physical bytes read, including the 5-byte headers.
+    pub bytes: u64,
+    /// Frames read.
+    pub frames: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            bytes: 0,
+            frames: 0,
+        }
+    }
+
+    /// Reads the next frame. `Ok(None)` is a clean EOF at a frame
+    /// boundary; EOF anywhere inside a frame is an
+    /// [`EngineError::TruncatedFrame`] (reported with worker index 0 —
+    /// the caller rewrites it with the real index).
+    pub fn read_frame(&mut self) -> Result<Option<(u8, &[u8])>, EngineError> {
+        let mut header = [0u8; 5];
+        match read_exact_or_eof(&mut self.inner, &mut header)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(EngineError::TruncatedFrame { worker: 0 }),
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let frame_tag = header[4];
+        if len > MAX_FRAME_BYTES {
+            return Err(EngineError::FrameTooLarge { declared: len });
+        }
+        self.buf.resize(len as usize, 0);
+        match read_exact_or_eof(&mut self.inner, &mut self.buf)? {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Partial if len == 0 => {}
+            ReadOutcome::Eof | ReadOutcome::Partial => {
+                return Err(EngineError::TruncatedFrame { worker: 0 })
+            }
+        }
+        self.bytes += 5 + u64::from(len);
+        self.frames += 1;
+        Ok(Some((frame_tag, &self.buf)))
+    }
+}
+
+enum ReadOutcome {
+    /// The whole buffer was filled.
+    Full,
+    /// EOF before the first byte.
+    Eof,
+    /// EOF after at least one byte.
+    Partial,
+}
+
+/// `read_exact`, but reporting *where* EOF happened instead of erasing it
+/// into `UnexpectedEof` — the frame reader needs to tell a clean stream
+/// end from a mid-frame cut.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Unix process plumbing: `fork`/`pipe`/`waitpid`/`_exit` via the C
+/// library. Going through libc's `fork` (not a raw syscall) runs the
+/// `pthread_atfork` handlers, which keeps the child's allocator usable
+/// even when the parent has other live threads (as under `cargo test`).
+#[cfg(unix)]
+pub(crate) mod process {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::FromRawFd;
+
+    extern "C" {
+        fn fork() -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        fn _exit(code: i32) -> !;
+    }
+
+    /// Worker exit code for "a map task panicked".
+    pub const EXIT_PANIC: i32 = 101;
+    /// Worker exit code for "the pipe to the coordinator failed" — which
+    /// includes the coordinator dropping its read end on early abort.
+    pub const EXIT_PIPE: i32 = 102;
+
+    /// Creates a pipe and returns `(read end, write end)` as `File`s, so
+    /// `Read`/`Write` retry `EINTR` and drop closes the fd.
+    pub fn pipe_pair() -> io::Result<(File, File)> {
+        let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a valid pointer to two i32s, which is exactly
+        // what pipe(2) writes on success.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: on success the two fds are freshly created, open, and
+        // owned by nothing else — each File takes sole ownership.
+        Ok(unsafe { (File::from_raw_fd(fds[0]), File::from_raw_fd(fds[1])) })
+    }
+
+    /// Forks. Returns `Ok(None)` in the child, `Ok(Some(pid))` in the
+    /// parent.
+    pub fn fork_worker() -> io::Result<Option<i32>> {
+        // SAFETY: libc fork has no preconditions; the child restricts
+        // itself to the COW snapshot, its pipe, and _exit (it never
+        // returns into the test harness or flushes inherited stdio).
+        let pid = unsafe { fork() };
+        match pid {
+            -1 => Err(io::Error::last_os_error()),
+            0 => Ok(None),
+            pid => Ok(Some(pid)),
+        }
+    }
+
+    /// How a reaped worker ended.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Exit {
+        Code(i32),
+        Signal(i32),
+    }
+
+    /// Blocks until `pid` exits, retrying `EINTR`.
+    pub fn wait_for(pid: i32) -> io::Result<Exit> {
+        loop {
+            let mut status = 0i32;
+            // SAFETY: `status` is a valid out-pointer; waitpid only
+            // writes through it.
+            let r = unsafe { waitpid(pid, &mut status, 0) };
+            if r == pid {
+                // Decode per wait(2): low 7 bits carry the terminating
+                // signal (0 for a normal exit), the next byte the code.
+                return Ok(if status & 0x7f != 0 {
+                    Exit::Signal(status & 0x7f)
+                } else {
+                    Exit::Code((status >> 8) & 0xff)
+                });
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Terminates the calling process immediately — no atexit handlers,
+    /// no stdio flush (the child shares the parent's buffered stdout and
+    /// must not flush a copy of it).
+    pub fn exit_now(code: i32) -> ! {
+        // SAFETY: _exit is async-signal-safe and diverges.
+        unsafe { _exit(code) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(frames: &[(u8, &[u8])]) -> Vec<u8> {
+        let mut w = FrameWriter::new(Vec::new());
+        for (t, p) in frames {
+            w.write_frame(*t, p).unwrap();
+        }
+        w.inner
+    }
+
+    #[test]
+    fn frames_roundtrip_with_counters() {
+        let payloads: [(u8, &[u8]); 3] = [(1, b"hello"), (3, &[]), (7, &[0xff; 300])];
+        let bytes = frame_bytes(&payloads);
+        let mut r = FrameReader::new(bytes.as_slice());
+        for (want_tag, want_payload) in payloads {
+            let (got_tag, got_payload) = r.read_frame().unwrap().unwrap();
+            assert_eq!(got_tag, want_tag);
+            assert_eq!(got_payload, want_payload);
+        }
+        assert!(r.read_frame().unwrap().is_none(), "clean EOF");
+        assert_eq!(r.frames, 3);
+        assert_eq!(r.bytes, (5 + 5) + 5 + (5 + 300));
+    }
+
+    #[test]
+    fn writer_counts_physical_bytes() {
+        let mut w = FrameWriter::new(Vec::new());
+        w.write_frame(tag::PAIRS, &[1, 2, 3]).unwrap();
+        assert_eq!(w.bytes, 8);
+        assert_eq!(w.frames, 1);
+        assert_eq!(w.inner.len(), 8);
+    }
+
+    #[test]
+    fn eof_inside_header_is_truncated() {
+        let bytes = frame_bytes(&[(2, b"abcdef")]);
+        let mut r = FrameReader::new(&bytes[..3]);
+        assert!(matches!(
+            r.read_frame(),
+            Err(EngineError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_inside_payload_is_truncated() {
+        let bytes = frame_bytes(&[(2, b"abcdef")]);
+        let mut r = FrameReader::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(
+            r.read_frame(),
+            Err(EngineError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        bytes.push(tag::PAIRS);
+        let mut r = FrameReader::new(bytes.as_slice());
+        assert!(matches!(
+            r.read_frame(),
+            Err(EngineError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_frames_work() {
+        let bytes = frame_bytes(&[(tag::WORKER_END, &[])]);
+        let mut r = FrameReader::new(bytes.as_slice());
+        let (t, p) = r.read_frame().unwrap().unwrap();
+        assert_eq!(t, tag::WORKER_END);
+        assert!(p.is_empty());
+        assert!(r.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = EngineError::WorkerDied {
+            worker: 2,
+            exit_code: None,
+            signal: Some(6),
+        };
+        assert!(e.to_string().contains("signal 6"));
+        let e = EngineError::WorkerDied {
+            worker: 1,
+            exit_code: Some(101),
+            signal: None,
+        };
+        assert!(e.to_string().contains("code 101"));
+        assert!(EngineError::MissingWireCodec
+            .to_string()
+            .contains("with_wire_codec"));
+    }
+}

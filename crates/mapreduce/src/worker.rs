@@ -1,0 +1,550 @@
+//! The multi-process executor: forked map workers, a coordinating parent.
+//!
+//! `execute_multiprocess` runs the map phase of a job in child
+//! processes and everything downstream (shuffle, reduce, Close hook,
+//! stitching) in the coordinator, reusing the pipelined engine's own
+//! `crate::engine::run_one_task` and
+//! `crate::engine::shuffle_reduce_finish` — the two modes differ *only*
+//! in how spills travel, which is what makes them bit-identical by
+//! construction.
+//!
+//! ```text
+//!  coordinator                               worker w (forked child)
+//!  ───────────                               ───────────────────────
+//!  split tasks round-robin ──fork──────────▶ runs its tasks via
+//!  one pipe per worker                       run_one_task (combine,
+//!  reader thread per pipe ◀──framed spill──  partition, pre-sort),
+//!  decode pairs, count bytes                 streams TASK/RUN/PAIRS
+//!  reap children (waitpid)                   frames + state journal,
+//!  replay state journal                      then WORKER_END, _exit(0)
+//!  shuffle_reduce_finish (shared code)
+//!  ```
+//!
+//! Workers are **forked**, not spawned: map closures capture datasets and
+//! `Arc` state that cannot cross an `exec`, but fork's copy-on-write
+//! snapshot carries them for free — the same trick gives every round of a
+//! multi-round algorithm (H-WTopk) its predecessor's replayed
+//! [`crate::StateStore`] contents, playing the role of Hadoop's local
+//! HDFS state files, and carries broadcast payloads like the paper's
+//! Job-Configuration channel. The transport is the [`crate::transport`]
+//! frame protocol over one Unix pipe per worker; the coordinator counts
+//! [`crate::metrics::WireTraffic`] from the frames it actually decodes.
+//!
+//! Failure containment: a child that panics exits with
+//! `transport::process::EXIT_PANIC`; one whose pipe dies exits with
+//! `transport::process::EXIT_PIPE`; the coordinator reaps every child
+//! unconditionally after its reader threads finish (a reader that errors
+//! drops its pipe end, so a still-writing child gets `EPIPE` and exits
+//! rather than blocking forever), then surfaces the most meaningful
+//! [`crate::EngineError`]: a killed/aborted worker wins over the
+//! truncated frame its death also caused.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set (only) inside a forked map-worker process, before any task runs.
+static IN_WORKER: AtomicBool = AtomicBool::new(false);
+
+/// Whether the calling code is executing inside a forked map-worker
+/// process of the multi-process engine. `false` in every in-process
+/// engine mode and in the coordinator.
+pub fn in_map_worker() -> bool {
+    IN_WORKER.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+pub(crate) use unix::execute_multiprocess;
+
+#[cfg(not(unix))]
+pub(crate) fn execute_multiprocess<K, V, R>(
+    _cluster: &crate::cost::ClusterConfig,
+    _spec: crate::job::JobSpec<K, V, R>,
+) -> Result<crate::job::JobOutput<R>, crate::transport::EngineError> {
+    Err(crate::transport::EngineError::Unsupported)
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::io::BufWriter;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    use crate::cost::ClusterConfig;
+    use crate::engine::{
+        dense_combine_domain, run_one_task, select_strategy, shuffle_reduce_finish, MapWorker,
+        TaskSpill,
+    };
+    use crate::job::{JobOutput, JobSpec, MapTask, PairCodec, PartitionFn};
+    use crate::metrics::{ReduceStrategy, WireTraffic};
+    use crate::state::{StateOp, StateStore};
+    use crate::transport::process::{self, Exit};
+    use crate::transport::{tag, EngineError, FrameReader, FrameWriter, PAIR_CHUNK_BYTES};
+    use crate::wire::{WireCodec, WireSize};
+
+    /// Executes one round with forked map workers. See the module docs
+    /// for the lifecycle; the reduce side runs in the coordinator via the
+    /// shared [`shuffle_reduce_finish`].
+    pub(crate) fn execute_multiprocess<K, V, R>(
+        cluster: &ClusterConfig,
+        spec: JobSpec<K, V, R>,
+    ) -> Result<JobOutput<R>, EngineError>
+    where
+        K: Ord + std::hash::Hash + Clone + Send + WireSize + 'static,
+        V: Send + WireSize + 'static,
+        R: Send,
+    {
+        let JobSpec {
+            map_tasks,
+            combiner,
+            partitioner,
+            reduce,
+            broadcast_bytes,
+            finish,
+            engine,
+            key_codec,
+            pair_codec,
+            state,
+            ..
+        } = spec;
+        assert!(engine.num_reducers >= 1, "need at least one reducer");
+        let Some(codec) = pair_codec else {
+            return Err(EngineError::MissingWireCodec);
+        };
+        let nparts = engine.num_reducers as usize;
+        let dense_domain = dense_combine_domain(
+            key_codec.is_some(),
+            engine.key_domain_hint,
+            combiner.is_some(),
+        );
+        let strategy = select_strategy(key_codec.is_some(), engine.key_domain_hint, nparts);
+
+        // A job with no tasks has nothing to fork for; run the (empty)
+        // downstream phases directly so the Close hook still fires.
+        if map_tasks.is_empty() {
+            return Ok(shuffle_reduce_finish(
+                cluster,
+                &engine,
+                Vec::new(),
+                &partitioner,
+                reduce,
+                finish,
+                broadcast_bytes,
+                strategy,
+                key_codec,
+                0.0,
+            ));
+        }
+
+        // ---- Fork the workers, tasks assigned round-robin. Even a
+        // single worker forks: the point of this mode is that the bytes
+        // genuinely cross a process boundary. ----
+        let map_start = std::time::Instant::now();
+        let nworkers = engine.map_workers(map_tasks.len());
+        let ntasks = map_tasks.len();
+        let mut by_worker: Vec<Vec<MapTask<K, V>>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (i, task) in map_tasks.into_iter().enumerate() {
+            by_worker[i % nworkers].push(task);
+        }
+
+        let mut children: Vec<(i32, Option<File>)> = Vec::with_capacity(nworkers);
+        for tasks in by_worker.iter_mut() {
+            let (read_end, write_end) = process::pipe_pair()?;
+            match process::fork_worker()? {
+                None => {
+                    // Child: the parent's read end (and any earlier
+                    // workers' read ends we inherited) just leak until
+                    // _exit; only our write end matters.
+                    drop(read_end);
+                    super::IN_WORKER.store(true, Ordering::Relaxed);
+                    if let Some(store) = &state {
+                        store.begin_journal();
+                    }
+                    let my_tasks = std::mem::take(tasks);
+                    let status = catch_unwind(AssertUnwindSafe(|| {
+                        child_main(
+                            my_tasks,
+                            write_end,
+                            &engine,
+                            nparts,
+                            strategy,
+                            &combiner,
+                            &partitioner,
+                            key_codec,
+                            codec,
+                            state.as_deref(),
+                            dense_domain,
+                        )
+                    }));
+                    process::exit_now(match status {
+                        Ok(Ok(())) => 0,
+                        // Write failure: the coordinator hung up (or the
+                        // pipe broke) — nothing left to report to.
+                        Ok(Err(_)) => process::EXIT_PIPE,
+                        Err(_) => process::EXIT_PANIC,
+                    });
+                }
+                Some(pid) => {
+                    // Parent: drop our copy of the write end immediately,
+                    // or the reader would never see EOF.
+                    drop(write_end);
+                    children.push((pid, Some(read_end)));
+                }
+            }
+        }
+
+        // ---- Read every worker's stream concurrently (a pipe holds only
+        // ~64 KiB; workers block when it fills, so the coordinator must
+        // drain all pipes at once). ----
+        let mut harvests: Vec<Result<Harvest<K, V>, EngineError>> = Vec::with_capacity(nworkers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = children
+                .iter_mut()
+                .map(|(_, read_end)| {
+                    let read_end = read_end.take().expect("read end present");
+                    scope.spawn(move || read_worker_stream(read_end, codec))
+                })
+                .collect();
+            for h in handles {
+                harvests.push(h.join().expect("reader threads do not panic"));
+            }
+        });
+
+        // ---- Reap every child unconditionally (readers have finished,
+        // so their dropped pipe ends guarantee no child blocks on a full
+        // pipe forever). ----
+        let mut exits = Vec::with_capacity(nworkers);
+        for (pid, _) in &children {
+            exits.push(process::wait_for(*pid)?);
+        }
+
+        // ---- Error precedence: a worker that died abnormally explains
+        // everything else (its death also truncated its stream), so it
+        // wins; then stream-level errors; then EXIT_PIPE, which is
+        // usually the *consequence* of the coordinator hanging up on an
+        // earlier error but stands alone if nothing else went wrong. ----
+        let mut broken: Option<EngineError> = None;
+        for (worker, exit) in exits.iter().enumerate() {
+            match *exit {
+                Exit::Signal(signal) => {
+                    return Err(EngineError::WorkerDied {
+                        worker,
+                        exit_code: None,
+                        signal: Some(signal),
+                    })
+                }
+                Exit::Code(0) => {}
+                Exit::Code(code) if code == process::EXIT_PIPE => {
+                    broken.get_or_insert(EngineError::WorkerDied {
+                        worker,
+                        exit_code: Some(code),
+                        signal: None,
+                    });
+                }
+                Exit::Code(code) => {
+                    return Err(EngineError::WorkerDied {
+                        worker,
+                        exit_code: Some(code),
+                        signal: None,
+                    })
+                }
+            }
+        }
+        let mut collected: Vec<Harvest<K, V>> = Vec::with_capacity(nworkers);
+        for (worker, harvest) in harvests.into_iter().enumerate() {
+            match harvest {
+                Ok(h) => collected.push(h),
+                Err(EngineError::TruncatedFrame { .. }) => {
+                    return Err(EngineError::TruncatedFrame { worker })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = broken {
+            return Err(e);
+        }
+
+        // ---- Merge: spills to split-id order, state journals replayed
+        // in worker-index order (each split's state belongs to exactly
+        // one worker, so cross-worker order is immaterial), traffic
+        // summed. ----
+        let mut wire = WireTraffic {
+            workers: nworkers as u32,
+            comm_rounds: u32::from(broadcast_bytes > 0),
+            ..Default::default()
+        };
+        let mut per_task: Vec<TaskSpill<K, V>> = Vec::with_capacity(ntasks);
+        let mut tasks_seen = 0usize;
+        for h in collected {
+            wire.pair_bytes += h.pair_bytes;
+            wire.frame_bytes += h.frame_bytes;
+            wire.frames += h.frames;
+            wire.state_bytes += h.state_bytes;
+            tasks_seen += h.tasks_done as usize;
+            per_task.extend(h.spills);
+            if let Some(store) = &state {
+                for op in h.state_ops {
+                    store.apply(op);
+                }
+            }
+        }
+        if tasks_seen != ntasks || per_task.len() != ntasks {
+            return Err(EngineError::Protocol("task count mismatch"));
+        }
+        per_task.sort_by_key(|t| t.split_id);
+        let wall_map_s = map_start.elapsed().as_secs_f64();
+
+        let mut out = shuffle_reduce_finish(
+            cluster,
+            &engine,
+            per_task,
+            &partitioner,
+            reduce,
+            finish,
+            broadcast_bytes,
+            strategy,
+            key_codec,
+            wall_map_s,
+        );
+        out.metrics.wire = wire;
+        Ok(out)
+    }
+
+    /// The forked child's whole life: run the assigned tasks through the
+    /// shared map-task unit, stream each spill as frames, ship the state
+    /// journal, close with `WORKER_END`, flush. Any `Err` means the pipe
+    /// is gone and the child exits `EXIT_PIPE`.
+    #[allow(clippy::too_many_arguments)]
+    fn child_main<K, V>(
+        tasks: Vec<MapTask<K, V>>,
+        write_end: File,
+        engine: &crate::engine::EngineConfig,
+        nparts: usize,
+        strategy: ReduceStrategy,
+        combiner: &Option<crate::job::CombineFn<K, V>>,
+        partitioner: &PartitionFn<K>,
+        key_codec: Option<fn(&K) -> u64>,
+        codec: PairCodec<K, V>,
+        state: Option<&StateStore>,
+        dense_domain: Option<usize>,
+    ) -> std::io::Result<()>
+    where
+        K: Ord + Clone + Send + WireSize + 'static,
+        V: Send + WireSize + 'static,
+    {
+        let mut writer = FrameWriter::new(BufWriter::with_capacity(PAIR_CHUNK_BYTES, write_end));
+        let mut worker_state = MapWorker::new(key_codec, dense_domain);
+        let ntasks = tasks.len() as u32;
+        let mut payload = Vec::with_capacity(PAIR_CHUNK_BYTES + 64);
+        for task in tasks {
+            let spill = run_one_task(
+                task,
+                engine,
+                nparts,
+                strategy,
+                combiner,
+                partitioner,
+                key_codec,
+                &mut worker_state,
+            );
+            payload.clear();
+            spill.split_id.encode_wire(&mut payload);
+            u8::from(spill.scattered).encode_wire(&mut payload);
+            (spill.runs.len() as u32).encode_wire(&mut payload);
+            spill.records_read.encode_wire(&mut payload);
+            spill.work.bytes_scanned.encode_wire(&mut payload);
+            spill.work.cpu_ops.encode_wire(&mut payload);
+            spill.pairs.encode_wire(&mut payload);
+            spill.bytes.encode_wire(&mut payload);
+            writer.write_frame(tag::TASK_BEGIN, &payload)?;
+            for run in &spill.runs {
+                payload.clear();
+                (run.len() as u64).encode_wire(&mut payload);
+                writer.write_frame(tag::RUN_BEGIN, &payload)?;
+                // Stream the run in bounded chunks: [count][encoded
+                // pairs…], cut when the buffer passes the chunk target.
+                let mut count = 0u32;
+                payload.clear();
+                payload.extend_from_slice(&[0; 4]);
+                for (k, v) in run {
+                    (codec.encode)(k, v, &mut payload);
+                    count += 1;
+                    if payload.len() >= PAIR_CHUNK_BYTES {
+                        payload[..4].copy_from_slice(&count.to_le_bytes());
+                        writer.write_frame(tag::PAIRS, &payload)?;
+                        count = 0;
+                        payload.clear();
+                        payload.extend_from_slice(&[0; 4]);
+                    }
+                }
+                if count > 0 {
+                    payload[..4].copy_from_slice(&count.to_le_bytes());
+                    writer.write_frame(tag::PAIRS, &payload)?;
+                }
+            }
+            writer.write_frame(tag::TASK_END, &[])?;
+        }
+        if let Some(store) = state {
+            for op in store.drain_journal() {
+                payload.clear();
+                match op {
+                    StateOp::Save(split, bytes) => {
+                        split.encode_wire(&mut payload);
+                        bytes.encode_wire(&mut payload);
+                        writer.write_frame(tag::STATE_SAVE, &payload)?;
+                    }
+                    StateOp::Take(split) => {
+                        split.encode_wire(&mut payload);
+                        writer.write_frame(tag::STATE_TAKE, &payload)?;
+                    }
+                }
+            }
+        }
+        payload.clear();
+        ntasks.encode_wire(&mut payload);
+        writer.write_frame(tag::WORKER_END, &payload)?;
+        writer.flush()
+    }
+
+    /// What the coordinator gathered from one worker's stream.
+    struct Harvest<K, V> {
+        spills: Vec<TaskSpill<K, V>>,
+        state_ops: Vec<StateOp>,
+        /// Sum of `WireSize::wire_bytes` over the pairs actually decoded
+        /// off the pipe — the measured counterpart of `shuffle_bytes`.
+        pair_bytes: u64,
+        /// Physical bytes read, frame headers included.
+        frame_bytes: u64,
+        frames: u64,
+        state_bytes: u64,
+        tasks_done: u32,
+    }
+
+    /// Drains one worker's pipe to EOF, decoding frames into spills and
+    /// state ops. Returns an error on any malformed or truncated frame;
+    /// dropping the reader (and with it the pipe end) on that early
+    /// return is what un-blocks a worker still writing.
+    fn read_worker_stream<K, V>(
+        read_end: File,
+        codec: PairCodec<K, V>,
+    ) -> Result<Harvest<K, V>, EngineError>
+    where
+        K: WireSize,
+        V: WireSize,
+    {
+        let mut reader = FrameReader::new(read_end);
+        let mut harvest = Harvest {
+            spills: Vec::new(),
+            state_ops: Vec::new(),
+            pair_bytes: 0,
+            frame_bytes: 0,
+            frames: 0,
+            state_bytes: 0,
+            tasks_done: 0,
+        };
+        // The spill currently being assembled: header fields plus how
+        // many runs are still due.
+        let mut pending: Option<(TaskSpill<K, V>, u32)> = None;
+        let mut ended = false;
+        while let Some((frame_tag, mut payload)) = reader.read_frame()? {
+            if ended {
+                return Err(EngineError::Protocol("frame after WORKER_END"));
+            }
+            match frame_tag {
+                tag::TASK_BEGIN => {
+                    if pending.is_some() {
+                        return Err(EngineError::Protocol("TASK_BEGIN inside a task"));
+                    }
+                    let split_id = u32::decode_wire(&mut payload)?;
+                    let scattered = u8::decode_wire(&mut payload)? != 0;
+                    let nruns = u32::decode_wire(&mut payload)?;
+                    let records_read = u64::decode_wire(&mut payload)?;
+                    let bytes_scanned = u64::decode_wire(&mut payload)?;
+                    let cpu_ops = f64::decode_wire(&mut payload)?;
+                    let pairs = u64::decode_wire(&mut payload)?;
+                    let bytes = u64::decode_wire(&mut payload)?;
+                    pending = Some((
+                        TaskSpill {
+                            split_id,
+                            runs: Vec::with_capacity(nruns as usize),
+                            scattered,
+                            work: crate::cost::TaskWork {
+                                bytes_scanned,
+                                cpu_ops,
+                            },
+                            records_read,
+                            pairs,
+                            bytes,
+                        },
+                        nruns,
+                    ));
+                }
+                tag::RUN_BEGIN => {
+                    let Some((spill, nruns)) = pending.as_mut() else {
+                        return Err(EngineError::Protocol("RUN_BEGIN outside a task"));
+                    };
+                    if spill.runs.len() as u32 >= *nruns {
+                        return Err(EngineError::Protocol("more runs than declared"));
+                    }
+                    let npairs = u64::decode_wire(&mut payload)?;
+                    spill
+                        .runs
+                        .push(Vec::with_capacity(npairs.min(1 << 20) as usize));
+                }
+                tag::PAIRS => {
+                    let Some((spill, _)) = pending.as_mut() else {
+                        return Err(EngineError::Protocol("PAIRS outside a task"));
+                    };
+                    let Some(run) = spill.runs.last_mut() else {
+                        return Err(EngineError::Protocol("PAIRS before RUN_BEGIN"));
+                    };
+                    let count = u32::decode_wire(&mut payload)?;
+                    for _ in 0..count {
+                        let (k, v) = (codec.decode)(&mut payload)?;
+                        // Measured bytes-on-wire: the paper's §5 sizes of
+                        // the pairs that really crossed the pipe.
+                        harvest.pair_bytes += k.wire_bytes() + v.wire_bytes();
+                        run.push((k, v));
+                    }
+                    if !payload.is_empty() {
+                        return Err(EngineError::Protocol("trailing bytes in PAIRS"));
+                    }
+                }
+                tag::TASK_END => {
+                    let Some((spill, nruns)) = pending.take() else {
+                        return Err(EngineError::Protocol("TASK_END outside a task"));
+                    };
+                    if spill.runs.len() as u32 != nruns {
+                        return Err(EngineError::Protocol("fewer runs than declared"));
+                    }
+                    harvest.spills.push(spill);
+                }
+                tag::STATE_SAVE => {
+                    let split = u32::decode_wire(&mut payload)?;
+                    let bytes = Vec::<u8>::decode_wire(&mut payload)?;
+                    harvest.state_bytes += bytes.len() as u64;
+                    harvest.state_ops.push(StateOp::Save(split, bytes));
+                }
+                tag::STATE_TAKE => {
+                    let split = u32::decode_wire(&mut payload)?;
+                    harvest.state_ops.push(StateOp::Take(split));
+                }
+                tag::WORKER_END => {
+                    if pending.is_some() {
+                        return Err(EngineError::Protocol("WORKER_END inside a task"));
+                    }
+                    harvest.tasks_done = u32::decode_wire(&mut payload)?;
+                    ended = true;
+                }
+                _ => return Err(EngineError::Protocol("unknown frame tag")),
+            }
+        }
+        if !ended {
+            // Clean EOF at a frame boundary, but the worker never said
+            // goodbye: its stream is incomplete all the same.
+            return Err(EngineError::TruncatedFrame { worker: 0 });
+        }
+        harvest.frame_bytes = reader.bytes;
+        harvest.frames = reader.frames;
+        Ok(harvest)
+    }
+}
