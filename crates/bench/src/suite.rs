@@ -1,9 +1,9 @@
-//! The fixed benchmark suite behind `BENCH_PR7.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR8.json` and the CI
 //! regression gate.
 //!
-//! Eleven benchmarks (ten everywhere, plus `wire_shuffle` on Unix), each
-//! timing the **optimized** side against a baseline measured in the same
-//! process and run:
+//! Twelve benchmarks (ten everywhere, plus `wire_shuffle` and
+//! `recovery_overhead` on Unix), each timing the **optimized** side
+//! against a baseline measured in the same process and run:
 //!
 //! | name | optimized side | baseline side |
 //! |---|---|---|
@@ -13,6 +13,7 @@
 //! | `dense_reduce` | dense-reduce strategy (flat slot arrays) | sort-at-reduce strategy |
 //! | `shuffle_throughput` | radix shuffle → parallel dense reduce | global sort + sequential reduce |
 //! | `wire_shuffle` (Unix) | multi-process engine: forked workers shipping framed pairs over pipes | the same job in-process |
+//! | `recovery_overhead` (Unix) | multi-process engine with the PR 8 self-healing layer armed (retries + read deadline) | the same job with recovery disabled |
 //! | `end_to_end_send_coef` | Send-Coef on the pipelined engine | Send-Coef on the seed engine |
 //! | `end_to_end_send_v` | Send-V on the pipelined engine | Send-V on the seed engine |
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
@@ -143,6 +144,8 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
     ];
     #[cfg(unix)]
     records.push(wire_shuffle(opts));
+    #[cfg(unix)]
+    records.push(recovery_overhead(opts));
     records.extend([
         end_to_end_send_coef(opts),
         end_to_end_send_v(opts),
@@ -515,6 +518,75 @@ fn wire_shuffle(opts: SuiteOptions) -> BenchRecord {
     }
 }
 
+/// Fault-free cost of the PR 8 self-healing layer: the multi-process
+/// engine with recovery armed (bounded task retries, idle read deadline
+/// on every coordinator reader — the defaults) against the same job with
+/// recovery disabled (`max_task_retries = 0`, no deadline — the PR 7
+/// behavior). Both sides pay the CRC32C frame trailers, which are not
+/// optional; their cost is gated by `wire_shuffle` against the PR 7
+/// baseline instead. What this record isolates is the retry bookkeeping
+/// and the poll-before-read deadline machinery, which is why its
+/// `relative_cost` should sit at ~1.0. Outputs must be bit-identical and
+/// the armed run must report a clean `RunMetrics::recovery` block.
+#[cfg(unix)]
+fn recovery_overhead(opts: SuiteOptions) -> BenchRecord {
+    let (splits, pairs_per_split) = if opts.fast {
+        (8, 40_000)
+    } else {
+        (16, 150_000)
+    };
+    let cluster = ClusterConfig::single_machine();
+
+    let run = |engine: EngineConfig| {
+        let tasks: Vec<MapTask<u64, u64>> = (0..splits as u32)
+            .map(|j| {
+                MapTask::new(j, move |ctx| {
+                    let mut x = 0x517cc1b727220a95u64 ^ (u64::from(j) << 32);
+                    for i in 0..pairs_per_split as u64 {
+                        x = x.wrapping_add(0x9e3779b97f4a7c15);
+                        let mut z = x;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                        ctx.emit(z % (1 << 18), i);
+                    }
+                })
+            })
+            .collect();
+        let spec = JobSpec::new(
+            "recovery-overhead",
+            tasks,
+            |k: &u64, vs: &[u64], ctx: &mut wh_mapreduce::ReduceContext<(u64, u64)>| {
+                ctx.emit((*k, vs.len() as u64));
+            },
+        )
+        .with_radix_keys()
+        .with_wire_codec()
+        .with_engine(with_threads(
+            engine.with_reducers(8).with_key_domain(1 << 18),
+            opts.threads,
+        ));
+        run_job(&cluster, spec)
+    };
+
+    let disarmed = EngineConfig::multi_process()
+        .with_task_retries(0)
+        .with_read_deadline_ms(0);
+    let (ref_s, reference) = time_best(opts.repeats, || run(disarmed));
+    let (wall_s, ours) = time_best(opts.repeats, || run(EngineConfig::multi_process()));
+    let bytes = ours.metrics.wire.pair_bytes;
+    BenchRecord {
+        name: "recovery_overhead",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: bytes as f64 / wall_s.max(1e-12),
+        outputs_match: ours.outputs == reference.outputs
+            && ours.metrics == reference.metrics
+            && !ours.metrics.recovery.recovered()
+            && ours.metrics.recovery.attempts > 0
+            && bytes > 0,
+        bytes_on_wire: bytes,
+    }
+}
+
 fn zipf_dataset(opts: SuiteOptions, alpha: f64, seed: u64, log_u_full: u32) -> wh_data::Dataset {
     let (n, log_u, m) = if opts.fast {
         (1u64 << 17, 13, 16)
@@ -853,7 +925,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR7.json`
+/// Renders the machine-readable suite report (the `BENCH_PR8.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -862,7 +934,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR7\",\n");
+    out.push_str("  \"suite\": \"PR8\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -1094,7 +1166,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR7".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR8".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -1236,7 +1308,7 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 10 + usize::from(cfg!(unix)));
+        assert_eq!(records.len(), 10 + 2 * usize::from(cfg!(unix)));
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

@@ -183,6 +183,14 @@ pub fn shuffle_seconds(cluster: &ClusterConfig, shuffle_bytes: u64) -> f64 {
 /// the [`crate::wire::WireSize`] total of the post-combine intermediate
 /// pairs, reached by two independent code paths.
 ///
+/// The equality holds *through recovery* (PR 8): `pair_bytes` is added
+/// only when a task's `TASK_END` commits, so a retried task's pairs
+/// count exactly once no matter how many attempts shipped them, while
+/// the discarded partial traffic still shows in the physical
+/// `frame_bytes`/`frames` counters. A recovered run therefore validates
+/// here exactly like a fault-free one — the chaos suite
+/// (`tests/engine_faults.rs`) pins that.
+///
 /// Returns `Err` with a description when the run carried no framed
 /// traffic (an in-process run cannot validate anything) or when the two
 /// counters disagree.

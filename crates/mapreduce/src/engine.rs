@@ -134,6 +134,25 @@ pub struct EngineConfig {
     /// smaller than an actual key **panics** (fail loudly rather than
     /// mis-group). Ignored by the reference engine.
     pub key_domain_hint: Option<u64>,
+    /// Multi-process mode only: how many times the coordinator may
+    /// re-execute a failed worker's *unfinished* tasks on a respawned
+    /// worker before surfacing the failure as an error. `0` disables
+    /// recovery (the first failure aborts the job, PR 7 behavior).
+    /// Completed tasks are never re-run, and recovered runs are
+    /// bit-identical to fault-free runs — see [`crate::worker`].
+    pub max_task_retries: u32,
+    /// Base backoff before a respawn, in milliseconds; doubles per
+    /// consecutive retry round.
+    pub retry_backoff_ms: u64,
+    /// Multi-process mode only: how long a coordinator reader waits for
+    /// the next byte from a worker before declaring it hung
+    /// ([`crate::EngineError::WorkerTimeout`]). An *idle* deadline — a
+    /// slow worker that keeps streaming never trips it. `0` disables the
+    /// deadline (block forever, PR 7 behavior).
+    pub read_deadline_ms: u64,
+    /// Deterministic fault injection for the multi-process mode; the
+    /// empty plan (default) injects nothing. See [`crate::FaultPlan`].
+    pub faults: crate::fault::FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -146,6 +165,10 @@ impl Default for EngineConfig {
             streaming_combine: false,
             spill_chunk: 0,
             key_domain_hint: None,
+            max_task_retries: 2,
+            retry_backoff_ms: 10,
+            read_deadline_ms: 30_000,
+            faults: crate::fault::FaultPlan::none(),
         }
     }
 }
@@ -210,6 +233,32 @@ impl EngineConfig {
     /// see [`EngineConfig::key_domain_hint`].
     pub fn with_key_domain(mut self, domain: u64) -> Self {
         self.key_domain_hint = Some(domain);
+        self
+    }
+
+    /// Sets the retry budget for failed workers' unfinished tasks
+    /// (multi-process mode; `0` disables recovery).
+    pub fn with_task_retries(mut self, retries: u32) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
+
+    /// Sets the base respawn backoff in milliseconds.
+    pub fn with_retry_backoff_ms(mut self, millis: u64) -> Self {
+        self.retry_backoff_ms = millis;
+        self
+    }
+
+    /// Sets the per-read idle deadline on worker pipes in milliseconds
+    /// (multi-process mode; `0` disables the deadline).
+    pub fn with_read_deadline_ms(mut self, millis: u64) -> Self {
+        self.read_deadline_ms = millis;
+        self
+    }
+
+    /// Arms a deterministic [`crate::FaultPlan`] (multi-process mode).
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 

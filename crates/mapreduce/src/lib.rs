@@ -72,11 +72,28 @@
 //! failures surface as a typed [`EngineError`] through [`try_run_job`],
 //! and the measured bytes validate the [`cost`] model's shuffle term
 //! ([`cost::validate_measured_shuffle`]).
+//!
+//! Since PR 8 the multi-process mode is **self-healing**: every frame
+//! carries a CRC32C trailer (the `crc` module) so silent corruption surfaces as
+//! [`EngineError::CorruptFrame`]; coordinator readers run under an idle
+//! read deadline ([`EngineConfig::read_deadline_ms`]) so a hung worker
+//! becomes [`EngineError::WorkerTimeout`] instead of a hang; and a worker
+//! that dies, stalls, or sends a bad stream gets its *unfinished* tasks
+//! re-executed on a respawned worker with bounded attempts and backoff
+//! ([`EngineConfig::max_task_retries`]). Partial spills and state frames
+//! from the failed attempt are discarded — only completed `TASK_END`s
+//! commit — so recovered runs stay bit-identical to fault-free runs, with
+//! the activity reported in [`RunMetrics::recovery`]
+//! ([`metrics::RecoveryStats`]). A deterministic [`FaultPlan`] on
+//! [`EngineConfig`] (kill/truncate/corrupt/stall) drives the chaos
+//! differential suite in `tests/engine_faults.rs`.
 
 pub mod context;
 pub mod cost;
+pub(crate) mod crc;
 mod dense;
 pub mod engine;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod radix;
@@ -89,8 +106,9 @@ pub mod worker;
 pub use context::{MapContext, ReduceContext};
 pub use cost::{ClusterConfig, MachineSpec};
 pub use engine::{EngineConfig, EngineMode};
+pub use fault::FaultPlan;
 pub use job::{run_job, try_run_job, JobOutput, JobSpec, MapTask};
-pub use metrics::{ReduceStrategy, ReduceStrategyCounts, RunMetrics, WireTraffic};
+pub use metrics::{RecoveryStats, ReduceStrategy, ReduceStrategyCounts, RunMetrics, WireTraffic};
 pub use radix::RadixKey;
 pub use reference::run_job_reference;
 pub use state::StateStore;

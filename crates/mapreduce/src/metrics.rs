@@ -123,6 +123,49 @@ impl WireTraffic {
     }
 }
 
+/// What the multi-process coordinator's self-healing layer did during a
+/// run: every recovered failure leaves a trace here, while the job's
+/// outputs and logical metrics stay bit-identical to a fault-free run.
+///
+/// All zero for in-process runs and for fault-free multi-process runs
+/// (except [`RecoveryStats::attempts`], which counts every worker
+/// process launched — `attempts == workers` means nothing was
+/// respawned). Like [`WireTraffic`], these are measurements of one
+/// particular execution, **excluded from `PartialEq`** on
+/// [`RunMetrics`]: a recovered run must still compare equal to its
+/// fault-free twin — that *is* the recovery contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Tasks re-executed after their worker died, hung, or sent a bad
+    /// stream. Completed tasks are never retried, so this counts only
+    /// genuinely lost work.
+    pub tasks_retried: u64,
+    /// Worker processes respawned to run retried tasks.
+    pub workers_respawned: u32,
+    /// Read-deadline expiries observed ([`crate::EngineError::WorkerTimeout`]).
+    pub timeouts: u32,
+    /// Checksum mismatches observed ([`crate::EngineError::CorruptFrame`]).
+    pub corrupt_frames: u32,
+    /// Total worker processes launched, first spawns included.
+    pub attempts: u32,
+}
+
+impl RecoveryStats {
+    /// Whether any failure was recovered during the run.
+    pub fn recovered(&self) -> bool {
+        self.workers_respawned > 0
+    }
+
+    /// Accumulates another round's recovery activity.
+    fn absorb(&mut self, other: &RecoveryStats) {
+        self.tasks_retried += other.tasks_retried;
+        self.workers_respawned += other.workers_respawned;
+        self.timeouts += other.timeouts;
+        self.corrupt_frames += other.corrupt_frames;
+        self.attempts += other.attempts;
+    }
+}
+
 /// Accumulated measurements of one job or one complete algorithm run
 /// (possibly multiple MapReduce rounds).
 ///
@@ -190,6 +233,11 @@ pub struct RunMetrics {
     /// how bytes moved is an execution detail, how many logical bytes
     /// were shuffled (`shuffle_bytes`) is not.
     pub wire: WireTraffic,
+    /// What the multi-process self-healing layer did (task retries,
+    /// respawns, timeouts, checksum failures). Excluded from `PartialEq`
+    /// like wall-clock: a recovered run compares equal to its fault-free
+    /// twin by contract.
+    pub recovery: RecoveryStats,
 }
 
 impl RunMetrics {
@@ -224,6 +272,7 @@ impl RunMetrics {
         self.wall_reduce_s += other.wall_reduce_s;
         self.reduce_strategies.absorb(&other.reduce_strategies);
         self.wire.absorb(&other.wire);
+        self.recovery.absorb(&other.recovery);
     }
 }
 
@@ -267,6 +316,20 @@ impl fmt::Display for RunMetrics {
                 f,
                 " wire={}B/{}f ({} workers, {} comm rounds)",
                 self.wire.frame_bytes, self.wire.frames, self.wire.workers, self.wire.comm_rounds
+            )?;
+        }
+        if self.recovery.recovered()
+            || self.recovery.timeouts > 0
+            || self.recovery.corrupt_frames > 0
+        {
+            write!(
+                f,
+                " recovery={}t/{}w ({} timeouts, {} corrupt, {} attempts)",
+                self.recovery.tasks_retried,
+                self.recovery.workers_respawned,
+                self.recovery.timeouts,
+                self.recovery.corrupt_frames,
+                self.recovery.attempts,
             )?;
         }
         Ok(())
@@ -320,6 +383,13 @@ mod tests {
                 workers: 2,
                 comm_rounds: 1,
             },
+            recovery: RecoveryStats {
+                tasks_retried: 3,
+                workers_respawned: 1,
+                timeouts: 1,
+                corrupt_frames: 0,
+                attempts: 3,
+            },
         };
         let b = a;
         a.absorb(&b);
@@ -337,6 +407,39 @@ mod tests {
         assert_eq!(a.wire.state_bytes, 32);
         assert_eq!(a.wire.workers, 4);
         assert_eq!(a.wire.comm_rounds, 2);
+        assert_eq!(a.recovery.tasks_retried, 6);
+        assert_eq!(a.recovery.workers_respawned, 2);
+        assert_eq!(a.recovery.timeouts, 2);
+        assert_eq!(a.recovery.attempts, 6);
+    }
+
+    #[test]
+    fn equality_ignores_recovery() {
+        // The recovery contract in one assert: a run that retried tasks
+        // compares equal to the fault-free run it reproduced.
+        let clean = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            ..Default::default()
+        };
+        let recovered = RunMetrics {
+            rounds: 1,
+            shuffle_bytes: 64,
+            recovery: RecoveryStats {
+                tasks_retried: 4,
+                workers_respawned: 1,
+                timeouts: 1,
+                corrupt_frames: 1,
+                attempts: 5,
+            },
+            ..Default::default()
+        };
+        assert!(recovered.recovery.recovered());
+        assert!(!clean.recovery.recovered());
+        assert_ne!(clean.recovery, recovered.recovery);
+        assert_eq!(clean, recovered);
+        let s = recovered.to_string();
+        assert!(s.contains("recovery=4t/1w"), "{s}");
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! * **Fallible.** Every query runs through `wh-query`'s `try_*` path;
 //!   malformed traffic comes back as [`ServeError`] values. A serving
 //!   thread cannot be panicked by query input.
+//! * **Degrades gracefully.** A rebuild pipeline that errors
+//!   ([`ServeTier::try_publish`]) or panics mid-publish leaves the last
+//!   good [`Snapshot`] serving — reads are never dropped. Consecutive
+//!   failures are tracked per dataset and reported as
+//!   [`DatasetHealth::Degraded`] / [`DatasetHealth::Quarantined`]
+//!   through [`ServeTier::dataset_health`] and
+//!   [`ServeTier::degraded_datasets`], without ever gating the read
+//!   path.
 //!
 //! ## Shape of a server
 //!
@@ -62,7 +70,9 @@ mod epoch;
 mod tier;
 
 pub use epoch::{EpochReader, EpochSwap};
-pub use tier::{DatasetId, ServeError, ServeHandle, ServeTier, Snapshot};
+pub use tier::{
+    DatasetHealth, DatasetId, ServeError, ServeHandle, ServeTier, Snapshot, QUARANTINE_AFTER,
+};
 
 // Re-exported so serving callers can name query types without depending
 // on `wh-query` directly.

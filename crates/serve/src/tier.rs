@@ -19,7 +19,23 @@
 //! panics on query input. Answers are bit-identical to querying the
 //! published [`CompiledHistogram`] directly, whatever the shard count
 //! and however many generations have swapped in under the reader.
+//!
+//! **Degradation (PR 8).** Publishing is where upstream failures arrive:
+//! a rebuild pipeline (the MapReduce path) can fail or panic. The tier
+//! absorbs both without dropping reads. [`ServeTier::try_publish`] runs
+//! a fallible rebuild *outside* the writer lock and, on `Err`, leaves
+//! the last good snapshot serving while counting the failure against the
+//! dataset; [`QUARANTINE_AFTER`] consecutive failures mark it
+//! [`DatasetHealth::Quarantined`] in [`ServeTier::dataset_health`] /
+//! [`ServeTier::degraded_datasets`] so an operator (or a scheduler) can
+//! see which datasets are stale — readers never consult the failure
+//! state and keep answering from the snapshot. A rebuild that *panics*
+//! mid-publish is also safe: `parking_lot` mutexes do not poison, the
+//! epoch swap only ever stores whole snapshots, and the entry is built
+//! before the writer lock is taken, so the previous generation keeps
+//! serving and later publishes proceed normally.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -63,6 +79,38 @@ impl std::error::Error for ServeError {
 impl From<QueryError> for ServeError {
     fn from(e: QueryError) -> Self {
         ServeError::Query(e)
+    }
+}
+
+/// Consecutive [`ServeTier::try_publish`] failures after which a dataset
+/// is reported [`DatasetHealth::Quarantined`] rather than merely
+/// degraded. Quarantine is a *reporting* state: reads keep being served
+/// from the last good snapshot, and one successful publish heals it.
+pub const QUARANTINE_AFTER: u32 = 3;
+
+/// Rebuild health of one published dataset, as seen by
+/// [`ServeTier::dataset_health`]. Health tracks the *publish* path only;
+/// a degraded or quarantined dataset still answers queries from its last
+/// good snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetHealth {
+    /// The last publish attempt (if any) succeeded.
+    Healthy,
+    /// This many consecutive rebuilds failed (fewer than
+    /// [`QUARANTINE_AFTER`]); the dataset serves its last good snapshot.
+    Degraded(u32),
+    /// At least [`QUARANTINE_AFTER`] consecutive rebuilds failed; the
+    /// snapshot being served is considered stale until a rebuild lands.
+    Quarantined(u32),
+}
+
+impl DatasetHealth {
+    fn from_failures(failures: u32) -> Self {
+        match failures {
+            0 => DatasetHealth::Healthy,
+            n if n < QUARANTINE_AFTER => DatasetHealth::Degraded(n),
+            n => DatasetHealth::Quarantined(n),
+        }
     }
 }
 
@@ -117,6 +165,9 @@ pub struct ServeTier {
     /// Serializes publishers: each builds its snapshot from the previous
     /// one, so concurrent publishes must not interleave read-modify-write.
     writer: Mutex<()>,
+    /// Consecutive `try_publish` failures per dataset. Never consulted on
+    /// the read path — health is operator-facing reporting, not a gate.
+    failures: Mutex<HashMap<DatasetId, u32>>,
 }
 
 impl ServeTier {
@@ -132,6 +183,7 @@ impl ServeTier {
                 entries: Vec::new(),
             })),
             writer: Mutex::new(()),
+            failures: Mutex::new(HashMap::new()),
         }
     }
 
@@ -162,11 +214,61 @@ impl ServeTier {
             generation,
             entries,
         }));
+        drop(_writer);
+        // A landed publish heals the dataset whatever its failure streak.
+        self.failures.lock().remove(&id);
         generation
+    }
+
+    /// Publishes the result of a **fallible** rebuild of `id`. The
+    /// `rebuild` closure runs outside the writer lock (a slow or hung
+    /// rebuild never blocks other publishers); on `Ok` the histogram is
+    /// published exactly like [`ServeTier::publish`] and the dataset's
+    /// failure streak resets. On `Err` **nothing changes for readers** —
+    /// the last good snapshot keeps serving, the generation does not
+    /// advance — and the dataset's consecutive-failure count rises,
+    /// surfacing through [`ServeTier::dataset_health`] until a rebuild
+    /// lands. The error is returned to the caller untouched.
+    pub fn try_publish<E>(
+        &self,
+        id: DatasetId,
+        records: u64,
+        rebuild: impl FnOnce() -> Result<CompiledHistogram, E>,
+    ) -> Result<u64, E> {
+        match rebuild() {
+            Ok(compiled) => Ok(self.publish(id, &compiled, records)),
+            Err(e) => {
+                *self.failures.lock().entry(id).or_insert(0) += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// The rebuild health of `id`: healthy, degraded, or quarantined
+    /// after [`QUARANTINE_AFTER`] consecutive failed rebuilds. Unknown
+    /// and never-failed datasets are healthy. Reads are *not* gated on
+    /// health — this is for operators and rebuild schedulers.
+    pub fn dataset_health(&self, id: DatasetId) -> DatasetHealth {
+        DatasetHealth::from_failures(self.failures.lock().get(&id).copied().unwrap_or(0))
+    }
+
+    /// Every dataset with a non-zero failure streak, ascending by id —
+    /// the tier's degraded-mode report. Empty means every publish path
+    /// is healthy.
+    pub fn degraded_datasets(&self) -> Vec<(DatasetId, DatasetHealth)> {
+        let mut out: Vec<(DatasetId, DatasetHealth)> = self
+            .failures
+            .lock()
+            .iter()
+            .map(|(&id, &n)| (id, DatasetHealth::from_failures(n)))
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
     }
 
     /// Withdraws `id` from serving. Returns the new generation, or
     /// `None` (and publishes nothing) when `id` was not present.
+    /// Removing a dataset also forgets its failure streak.
     pub fn remove(&self, id: DatasetId) -> Option<u64> {
         let _writer = self.writer.lock();
         let (_, current) = self.swap.load();
@@ -178,6 +280,8 @@ impl ServeTier {
             generation,
             entries,
         }));
+        drop(_writer);
+        self.failures.lock().remove(&id);
         Some(generation)
     }
 
@@ -415,5 +519,66 @@ mod tests {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<ServeTier>();
         assert_sync_send::<Snapshot>();
+    }
+
+    #[test]
+    fn failed_rebuilds_degrade_then_quarantine_then_heal() {
+        let tier = ServeTier::new(2);
+        let good = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        tier.publish(5, &good, 4);
+        assert_eq!(tier.dataset_health(5), DatasetHealth::Healthy);
+        assert!(tier.degraded_datasets().is_empty());
+
+        for n in 1..=QUARANTINE_AFTER + 1 {
+            let err = tier
+                .try_publish(5, 4, || Err::<CompiledHistogram, _>("pipeline down"))
+                .unwrap_err();
+            assert_eq!(err, "pipeline down");
+            let want = if n < QUARANTINE_AFTER {
+                DatasetHealth::Degraded(n)
+            } else {
+                DatasetHealth::Quarantined(n)
+            };
+            assert_eq!(tier.dataset_health(5), want);
+            // The snapshot never moved: readers still get generation 1.
+            assert_eq!(tier.generation(), 1);
+        }
+        assert_eq!(tier.degraded_datasets().len(), 1);
+
+        // A landed rebuild heals the streak and advances the generation.
+        let gen = tier
+            .try_publish(5, 4, || Ok::<_, &str>(compiled_from_signal(&[5.0; 4], 4)))
+            .unwrap();
+        assert_eq!(gen, 2);
+        assert_eq!(tier.dataset_health(5), DatasetHealth::Healthy);
+        assert!(tier.degraded_datasets().is_empty());
+    }
+
+    #[test]
+    fn degraded_dataset_keeps_serving_the_last_good_snapshot() {
+        let tier = ServeTier::new(2);
+        let good = compiled_from_signal(&[4.0, 0.0, 0.0, 0.0], 4);
+        tier.publish(9, &good, 4);
+        let mut h = tier.handle();
+        let before = h.try_range_sum(9, 0, 3).unwrap();
+        let _ = tier.try_publish(9, 4, || Err::<CompiledHistogram, _>(()));
+        assert_eq!(tier.dataset_health(9), DatasetHealth::Degraded(1));
+        assert_eq!(
+            h.try_range_sum(9, 0, 3).unwrap().to_bits(),
+            before.to_bits(),
+            "reads are not gated on health"
+        );
+    }
+
+    #[test]
+    fn removing_a_dataset_forgets_its_failure_streak() {
+        let tier = ServeTier::new(1);
+        let good = compiled_from_signal(&[1.0, 1.0], 2);
+        tier.publish(3, &good, 2);
+        let _ = tier.try_publish(3, 2, || Err::<CompiledHistogram, _>(()));
+        assert_eq!(tier.dataset_health(3), DatasetHealth::Degraded(1));
+        tier.remove(3);
+        assert_eq!(tier.dataset_health(3), DatasetHealth::Healthy);
+        assert!(tier.degraded_datasets().is_empty());
     }
 }

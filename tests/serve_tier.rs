@@ -314,3 +314,99 @@ fn shard_boundaries_answer_exactly() {
         }
     }
 }
+
+/// PR 8 satellite: `parking_lot` mutexes do not poison, and the epoch
+/// swap publishes whole snapshots — so a rebuild that *panics* on the
+/// publish path leaves readers on the previous generation, and the tier
+/// (writer lock included) keeps working for the next publisher.
+#[test]
+fn panicking_rebuild_leaves_the_previous_snapshot_serving() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let compiled = CompiledHistogram::compile(&SendV::new().build(&ds, &cluster, K).histogram);
+    let n = ds.num_records();
+
+    let tier = ServeTier::new(4);
+    tier.publish(1, &compiled, n);
+    let gen_before = tier.generation();
+    let mut h = tier.handle();
+    let before = h.try_range_sum(1, 0, 100).unwrap();
+
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        tier.try_publish::<ServeError>(1, n, || panic!("rebuild pipeline blew up"))
+    }));
+    assert!(unwound.is_err(), "the panic propagates to the publisher");
+
+    // Readers never saw a torn or advanced generation…
+    assert_eq!(tier.generation(), gen_before);
+    assert_eq!(h.snapshot().generation(), gen_before);
+    assert_eq!(
+        h.try_range_sum(1, 0, 100).unwrap().to_bits(),
+        before.to_bits()
+    );
+
+    // …and the tier is not wedged: the next (successful) publish lands.
+    let gen_after = tier.publish(1, &compiled, n);
+    assert_eq!(gen_after, gen_before + 1);
+    assert_eq!(h.snapshot().generation(), gen_after);
+}
+
+/// PR 8 tentpole (serve side): failed rebuilds leave the last good
+/// epoch serving and are reported as degraded / quarantined health
+/// without ever gating reads.
+#[test]
+fn failed_rebuilds_degrade_without_dropping_reads() {
+    use wavelet_hist::serve::{DatasetHealth, QUARANTINE_AFTER};
+
+    let ds = zipf_dataset();
+    let cluster = ClusterConfig::paper_cluster();
+    let compiled = CompiledHistogram::compile(&SendV::new().build(&ds, &cluster, K).histogram);
+    let n = ds.num_records();
+    let queries = range_queries(ds.domain().u(), 64, 0xdead);
+
+    let tier = ServeTier::new(3);
+    tier.publish(7, &compiled, n);
+    let mut h = tier.handle();
+    let mut want = vec![0.0; queries.len()];
+    h.try_selectivity_batch_into(7, &queries, &mut want)
+        .unwrap();
+
+    // Drive the dataset into quarantine; every read in between answers
+    // bit-identically from the last good snapshot.
+    for i in 1..=QUARANTINE_AFTER {
+        let err = tier
+            .try_publish(7, n, || {
+                Err::<CompiledHistogram, _>("upstream build failed")
+            })
+            .unwrap_err();
+        assert_eq!(err, "upstream build failed");
+        let mut got = vec![0.0; queries.len()];
+        h.try_selectivity_batch_into(7, &queries, &mut got).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let health = tier.dataset_health(7);
+        if i < QUARANTINE_AFTER {
+            assert_eq!(health, DatasetHealth::Degraded(i));
+        } else {
+            assert_eq!(health, DatasetHealth::Quarantined(i));
+        }
+    }
+    assert_eq!(
+        tier.degraded_datasets(),
+        vec![(7, DatasetHealth::Quarantined(QUARANTINE_AFTER))]
+    );
+    // A healthy dataset alongside is unaffected by its neighbor's state.
+    tier.publish(8, &compiled, n);
+    assert_eq!(tier.dataset_health(8), DatasetHealth::Healthy);
+
+    // One landed rebuild heals the quarantine.
+    let gen = tier
+        .try_publish(7, n, || Ok::<_, ServeError>(compiled.clone()))
+        .unwrap();
+    assert_eq!(gen, tier.generation());
+    assert_eq!(tier.dataset_health(7), DatasetHealth::Healthy);
+    assert!(tier.degraded_datasets().is_empty());
+}
