@@ -1,7 +1,7 @@
-//! The fixed benchmark suite behind `BENCH_PR8.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR9.json` and the CI
 //! regression gate.
 //!
-//! Twelve benchmarks (ten everywhere, plus `wire_shuffle` and
+//! Fourteen benchmarks (twelve everywhere, plus `wire_shuffle` and
 //! `recovery_overhead` on Unix), each timing the **optimized** side
 //! against a baseline measured in the same process and run:
 //!
@@ -19,6 +19,8 @@
 //! | `end_to_end_two_level` | TwoLevel-S on the pipelined engine | TwoLevel-S on the seed engine |
 //! | `query_throughput` | batched selectivity serving (`wh-query`) | one-at-a-time serving |
 //! | `serve_throughput` | the sharded, epoch-swapped tier (`wh-serve`) | direct batched serving on the unsharded compiled form |
+//! | `delta_merge_1pct` | incremental maintenance: delta-merge + re-snapshot at 1 % churn | dense from-scratch rebuild on the concatenated counts |
+//! | `delta_merge_10pct` | the same at 10 % churn | the same full rebuild |
 //!
 //! `wire_shuffle` is the one bench where the "optimized" side is expected
 //! to *cost more* (real fork + pipe + encode/decode versus in-memory
@@ -42,7 +44,7 @@
 use std::time::Instant;
 
 use wh_core::builders::{HistogramBuilder, SendCoef, SendV, TwoLevelS};
-use wh_core::WaveletHistogram;
+use wh_core::{MaintainedHistogram, WaveletHistogram};
 use wh_data::DatasetBuilder;
 use wh_mapreduce::wire::WKey;
 use wh_mapreduce::{radix, run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
@@ -152,8 +154,82 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
         end_to_end_two_level(opts),
         query_throughput(opts),
         serve_throughput(opts),
+        delta_merge("delta_merge_1pct", 1, opts),
+        delta_merge("delta_merge_10pct", 10, opts),
     ]);
     records
+}
+
+/// Incremental maintenance vs full rebuild (PR 9): absorb a churn-sized
+/// delta into a [`MaintainedHistogram`] and re-snapshot the top-k,
+/// against rebuilding from scratch on the concatenated counts (dense
+/// aggregate → `forward_in_place` → `top_k_magnitude`) — exactly the
+/// exact-build pipeline a non-incremental refresh would rerun. Both
+/// sides must produce **bit-identical** histograms; `churn_pct` sizes
+/// the delta as a percentage of the base's distinct keys, and
+/// `items_per_s` reports delta entries absorbed per second.
+///
+/// The timed side consumes one pre-cloned maintained state per
+/// repetition: the clone is bench setup (a real deployment mutates its
+/// one live state), so only `merge_delta` + `snapshot` are inside the
+/// timer.
+fn delta_merge(name: &'static str, churn_pct: u64, opts: SuiteOptions) -> BenchRecord {
+    let log_u = if opts.fast { 14 } else { 20 };
+    let domain = Domain::new(log_u).expect("valid log_u");
+    let u = domain.u();
+    let k = 64;
+    // A sparse base — 1/32 of the domain carries data (duplicate draws
+    // accumulate) — the regime where maintenance beats the dense rebuild
+    // that must touch all `u` slots regardless.
+    let distinct = (u / 32).max(1);
+    let base_counts: Vec<(u64, u64)> = (0..distinct)
+        .map(|i| (scramble(i) % u, scramble(i ^ 0xbace) % 200 + 1))
+        .collect();
+    let delta: Vec<(u64, u64)> = (0..(distinct * churn_pct / 100).max(1))
+        .map(|i| (scramble(i ^ 0x0e17a) % u, scramble(i ^ 0x77) % 50 + 1))
+        .collect();
+
+    let base = {
+        let mut m = MaintainedHistogram::new(domain, k);
+        m.merge_delta(base_counts.iter().copied());
+        m
+    };
+
+    let (ref_s, reference) = time_best(opts.repeats, || {
+        let mut v = vec![0.0f64; u as usize];
+        for &(x, c) in base_counts.iter().chain(&delta) {
+            v[x as usize] += c as f64;
+        }
+        wh_wavelet::haar::forward_in_place(&mut v);
+        let top = wh_wavelet::select::top_k_magnitude(
+            v.iter().enumerate().map(|(s, &c)| (s as u64, c)),
+            k,
+        );
+        WaveletHistogram::new(domain, top.iter().map(|e| (e.slot, e.value)))
+    });
+
+    let mut pool: Vec<MaintainedHistogram> =
+        (0..opts.repeats.max(1)).map(|_| base.clone()).collect();
+    let (wall_s, ours) = time_best(opts.repeats, || {
+        let mut m = pool.pop().expect("one clone per repetition");
+        m.merge_delta(delta.iter().copied());
+        m.snapshot()
+    });
+
+    let outputs_match = ours.coefficients().len() == reference.coefficients().len()
+        && ours
+            .coefficients()
+            .iter()
+            .zip(reference.coefficients())
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+    BenchRecord {
+        name,
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: delta.len() as f64 / wall_s.max(1e-12),
+        outputs_match,
+        bytes_on_wire: 0,
+    }
 }
 
 /// Dense Haar transform: in-place vs allocating.
@@ -925,7 +1001,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR8.json`
+/// Renders the machine-readable suite report (the `BENCH_PR9.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -934,7 +1010,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR8\",\n");
+    out.push_str("  \"suite\": \"PR9\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -1166,7 +1242,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR8".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR9".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -1308,7 +1384,7 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 10 + 2 * usize::from(cfg!(unix)));
+        assert_eq!(records.len(), 12 + 2 * usize::from(cfg!(unix)));
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

@@ -43,7 +43,9 @@
 pub mod builders;
 pub mod evaluate;
 pub mod histogram;
+pub mod incremental;
 pub mod twod;
 
 pub use builders::{BuildResult, HistogramBuilder};
 pub use histogram::WaveletHistogram;
+pub use incremental::MaintainedHistogram;

@@ -32,26 +32,42 @@ impl CompiledHistogram {
     /// Compiles a built histogram. `O(k log u)` once; queries never touch
     /// the coefficient set again.
     pub fn compile(hist: &WaveletHistogram) -> Self {
+        let mut compiled = Self {
+            domain: hist.domain(),
+            starts: Vec::new(),
+            values: Vec::new(),
+            prefix: Vec::new(),
+            total: 0.0,
+        };
+        compiled.recompile(hist);
+        compiled
+    }
+
+    /// Re-snapshots this compiled form from a (typically delta-merged)
+    /// histogram in place, reusing the segment arrays' allocations — the
+    /// compile side of the incremental-maintenance loop, where a fresh
+    /// snapshot is compiled per delta batch before being handed to the
+    /// serving tier. Equivalent to `*self = CompiledHistogram::compile(h)`
+    /// bit for bit, without the three reallocations.
+    pub fn recompile(&mut self, hist: &WaveletHistogram) {
         let domain = hist.domain();
         let segs = hist.segments();
-        let mut starts = Vec::with_capacity(segs.len());
-        let mut values = Vec::with_capacity(segs.len());
-        let mut prefix = Vec::with_capacity(segs.len());
+        self.domain = domain;
+        self.starts.clear();
+        self.values.clear();
+        self.prefix.clear();
+        self.starts.reserve(segs.len());
+        self.values.reserve(segs.len());
+        self.prefix.reserve(segs.len());
         let mut acc = 0.0f64;
         for (i, &(start, value)) in segs.iter().enumerate() {
-            starts.push(start);
-            values.push(value);
-            prefix.push(acc);
+            self.starts.push(start);
+            self.values.push(value);
+            self.prefix.push(acc);
             let end = segs.get(i + 1).map_or(domain.u(), |&(s, _)| s);
             acc += value * ((end - start) as f64);
         }
-        Self {
-            domain,
-            starts,
-            values,
-            prefix,
-            total: acc,
-        }
+        self.total = acc;
     }
 
     /// The key domain this histogram describes.
@@ -255,6 +271,27 @@ mod tests {
                     "k={k} [{lo},{hi}]"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn recompile_matches_fresh_compile_bitwise() {
+        let a: Vec<f64> = (0..64).map(|i| ((i * 13) % 19) as f64).collect();
+        let b: Vec<f64> = (0..64).map(|i| ((i * 7) % 29) as f64 + 1.0).collect();
+        let (mut reused, _) = compiled_from_signal(&a, 12);
+        let (_, hist_b) = compiled_from_signal(&b, 9);
+        reused.recompile(&hist_b);
+        let fresh = CompiledHistogram::compile(&hist_b);
+        assert_eq!(reused, fresh);
+        assert_eq!(
+            reused.total_estimate().to_bits(),
+            fresh.total_estimate().to_bits()
+        );
+        for x in 0..64u64 {
+            assert_eq!(
+                reused.prefix_sum(x).to_bits(),
+                fresh.prefix_sum(x).to_bits()
+            );
         }
     }
 

@@ -34,6 +34,16 @@
 //! epoch swap only ever stores whole snapshots, and the entry is built
 //! before the writer lock is taken, so the previous generation keeps
 //! serving and later publishes proceed normally.
+//!
+//! **Freshness (PR 9).** `try_publish` is also the landing point of the
+//! incremental-maintenance loop: instead of a from-scratch rebuild, the
+//! closure re-snapshots a delta-merged histogram
+//! (`wh_core::incremental::MaintainedHistogram` → compile) in `O(d·log u)`
+//! per arriving segment, and [`ServeTier::dataset_records`] exposes the
+//! record count the dataset was last published with so the refresh can
+//! republish at `records + delta`. The epoch-swap, health, and
+//! degradation machinery is unchanged — a delta publish is just a
+//! publish that got cheap.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -288,6 +298,15 @@ impl ServeTier {
     /// The current generation counter.
     pub fn generation(&self) -> u64 {
         self.swap.load().1.generation
+    }
+
+    /// The record count `id` was last published with, or `None` when the
+    /// dataset is absent from the current snapshot. The incremental-
+    /// maintenance loop reads this before a delta publish so the
+    /// refreshed snapshot lands with `records + newly absorbed records`,
+    /// keeping served selectivities relative to *all* data.
+    pub fn dataset_records(&self, id: DatasetId) -> Option<u64> {
+        self.swap.load().1.entry(id).ok().map(|e| e.records)
     }
 
     /// A serving handle for one reader thread: its own snapshot cache
@@ -568,6 +587,24 @@ mod tests {
             before.to_bits(),
             "reads are not gated on health"
         );
+    }
+
+    #[test]
+    fn dataset_records_tracks_the_published_count() {
+        let tier = ServeTier::new(2);
+        assert_eq!(tier.dataset_records(4), None);
+        let compiled = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        tier.publish(4, &compiled, 10);
+        assert_eq!(tier.dataset_records(4), Some(10));
+        // A delta publish lands with the grown count; a failed rebuild
+        // leaves the last published count serving.
+        tier.try_publish(4, 10 + 7, || Ok::<_, ()>(compiled.clone()))
+            .unwrap();
+        assert_eq!(tier.dataset_records(4), Some(17));
+        let _ = tier.try_publish(4, 99, || Err::<CompiledHistogram, _>(()));
+        assert_eq!(tier.dataset_records(4), Some(17));
+        tier.remove(4);
+        assert_eq!(tier.dataset_records(4), None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! `‖v‖² / cols` per row and a median over rows for concentration.
 
 use crate::hash::PolyHash;
+use wh_wavelet::Domain;
 
 /// A `rows × cols` CountSketch of a vector indexed by `u64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +58,25 @@ impl CountSketch {
             let s = self.sign_hash[r].sign(item);
             self.table[r * self.cols + b] += s * delta;
         }
+    }
+
+    /// Streaming update in *key* space for a sketch over wavelet
+    /// coefficients: translates `count` arriving occurrences of key `x`
+    /// into the `log u + 1` coefficient-space updates on `x`'s
+    /// root-to-leaf path (see [`wh_wavelet::sparse::coefficient_updates`])
+    /// and applies each via [`Self::update`]. This is the delta-build
+    /// equivalent for the sketch path: by linearity, streaming a new
+    /// segment into an existing sketch yields the same estimator (up to
+    /// float summation order) as sketching the concatenated data, without
+    /// re-reading the base. Returns the number of coefficient updates
+    /// applied.
+    pub fn update_key(&mut self, domain: Domain, x: u64, count: f64) -> u64 {
+        let mut ops = 0;
+        wh_wavelet::sparse::coefficient_updates(domain, x, count, |slot, delta| {
+            self.update(slot, delta);
+            ops += 1;
+        });
+        ops
     }
 
     /// Median-of-rows estimate of coordinate `item`.
@@ -205,6 +225,53 @@ mod tests {
             (est - true_l2).abs() < 0.35 * true_l2,
             "l2 estimate {est} vs true {true_l2}"
         );
+    }
+
+    #[test]
+    fn update_key_equals_explicit_coefficient_updates() {
+        let domain = Domain::new(6).unwrap();
+        let mut streamed = CountSketch::new(5, 64, 9);
+        let mut explicit = CountSketch::new(5, 64, 9);
+        for x in [0u64, 5, 31, 32, 63] {
+            let ops = streamed.update_key(domain, x, 2.0);
+            assert_eq!(ops, u64::from(domain.log_u()) + 1);
+            wh_wavelet::sparse::coefficient_updates(domain, x, 2.0, |slot, delta| {
+                explicit.update(slot, delta);
+            });
+        }
+        assert_eq!(streamed.counters(), explicit.counters());
+    }
+
+    #[test]
+    fn streaming_a_delta_matches_merging_segment_sketches() {
+        // Linearity: base sketch + streamed delta keys ≡ sketch(base) ⊕
+        // sketch(delta). Identical per-counter update sets; only float
+        // summation order differs, so compare with a tolerance.
+        let domain = Domain::new(8).unwrap();
+        let base_keys: Vec<u64> = (0..300u64).map(|i| (i * 37) % 256).collect();
+        let delta_keys: Vec<u64> = (0..40u64).map(|i| (i * 91) % 256).collect();
+
+        let mut streamed = CountSketch::new(5, 128, 12);
+        for &x in &base_keys {
+            streamed.update_key(domain, x, 1.0);
+        }
+        for &x in &delta_keys {
+            streamed.update_key(domain, x, 1.0);
+        }
+
+        let mut merged = CountSketch::new(5, 128, 12);
+        for &x in &base_keys {
+            merged.update_key(domain, x, 1.0);
+        }
+        let mut delta_sketch = CountSketch::new(5, 128, 12);
+        for &x in &delta_keys {
+            delta_sketch.update_key(domain, x, 1.0);
+        }
+        merged.merge(&delta_sketch);
+
+        for (a, b) in streamed.counters().iter().zip(merged.counters()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
     }
 
     #[test]

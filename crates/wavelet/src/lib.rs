@@ -11,6 +11,10 @@
 //!   coefficients of a sparse frequency vector in `O(N·log u)` time and
 //!   `O(log u)` working memory per key — the algorithm the paper's mappers
 //!   run instead of the dense `O(u)` pass (Appendix A);
+//! * the **incrementally maintained transform** ([`incremental`]) that
+//!   absorbs streaming count deltas in `O(d·log u)` per delta while staying
+//!   bit-identical to the dense from-scratch transform of the accumulated
+//!   data — the substrate of the delta-build path;
 //! * the **error tree** ([`tree`]) used to answer point and range queries
 //!   from a retained coefficient set;
 //! * **top-k magnitude selection** ([`select`]) with deterministic
@@ -32,6 +36,7 @@
 
 pub mod haar;
 pub mod hash;
+pub mod incremental;
 pub mod select;
 pub mod sparse;
 pub mod sse;
@@ -39,6 +44,7 @@ pub mod tree;
 pub mod twod;
 
 pub use haar::{forward, forward_in_place, inverse, inverse_in_place};
+pub use incremental::IncrementalTransform;
 pub use select::{top_k_magnitude, CoefEntry};
 pub use sparse::{coefficient_updates, sparse_transform, SparseCoefs};
 pub use tree::ErrorTree;

@@ -44,8 +44,10 @@ pub use wh_serve as serve;
 pub use wh_core::builders;
 /// SSE evaluation against exact ground truth.
 pub use wh_core::evaluate;
+/// Incremental maintenance: delta-merged histograms for the freshness loop.
+pub use wh_core::incremental;
 /// Two-dimensional histograms.
 pub use wh_core::twod;
-pub use wh_core::{BuildResult, HistogramBuilder, WaveletHistogram};
+pub use wh_core::{BuildResult, HistogramBuilder, MaintainedHistogram, WaveletHistogram};
 pub use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
 pub use wh_serve::{ServeError, ServeHandle, ServeTier};
