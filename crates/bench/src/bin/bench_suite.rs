@@ -1,4 +1,4 @@
-//! Runs the fixed engine-benchmark suite and emits `BENCH_PR9.json`.
+//! Runs the fixed engine-benchmark suite and emits `BENCH_PR10.json`.
 //!
 //! ```text
 //! cargo run -p wh-bench --release --bin bench_suite                 # full suite
@@ -6,7 +6,7 @@
 //! cargo run -p wh-bench --release --bin bench_suite -- --baseline  # all sections → committed file
 //! cargo run -p wh-bench --release --bin bench_suite -- \
 //!     --fast --threads 4 --out bench-current.json \
-//!     --check BENCH_PR9.json                                        # one CI matrix leg
+//!     --check BENCH_PR10.json                                        # one CI matrix leg
 //! ```
 //!
 //! `--threads N` pins the engines' map and reduce parallelism on both
@@ -22,7 +22,7 @@
 //! the run summary without downloading the report artifact. `--baseline`
 //! runs the full suite plus the fast suite unpinned and at 1 and 4
 //! threads, writing all four sections — that is how the committed
-//! `BENCH_PR9.json` is produced.
+//! `BENCH_PR10.json` is produced.
 //!
 //! On a `--check` run with 4 or more pinned threads, `serve_throughput`
 //! must additionally clear the absolute
@@ -115,7 +115,7 @@ fn main() -> ExitCode {
     let mut baseline_mode = false;
     let mut threads = 0usize;
     let mut repeats: Option<usize> = None;
-    let mut out = PathBuf::from("BENCH_PR9.json");
+    let mut out = PathBuf::from("BENCH_PR10.json");
     let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {

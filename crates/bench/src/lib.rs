@@ -16,7 +16,7 @@
 //! `cargo run -p wh-bench --release --bin bench_suite`: a fixed set of
 //! wall-clock benchmarks comparing the pipelined execution engine against
 //! the preserved seed engine — at pinned 1- and 4-thread budgets as well
-//! as unpinned — emitting `BENCH_PR9.json` and gating CI on >25 %
+//! as unpinned — emitting `BENCH_PR10.json` and gating CI on >25 %
 //! relative regressions per section, plus an absolute serving-rate
 //! floor on the 4-thread leg's `serve_throughput`.
 

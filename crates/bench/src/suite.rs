@@ -1,7 +1,7 @@
-//! The fixed benchmark suite behind `BENCH_PR9.json` and the CI
+//! The fixed benchmark suite behind `BENCH_PR10.json` and the CI
 //! regression gate.
 //!
-//! Fourteen benchmarks (twelve everywhere, plus `wire_shuffle` and
+//! Sixteen benchmarks (fourteen everywhere, plus `wire_shuffle` and
 //! `recovery_overhead` on Unix), each timing the **optimized** side
 //! against a baseline measured in the same process and run:
 //!
@@ -21,11 +21,17 @@
 //! | `serve_throughput` | the sharded, epoch-swapped tier (`wh-serve`) | direct batched serving on the unsharded compiled form |
 //! | `delta_merge_1pct` | incremental maintenance: delta-merge + re-snapshot at 1 % churn | dense from-scratch rebuild on the concatenated counts |
 //! | `delta_merge_10pct` | the same at 10 % churn | the same full rebuild |
+//! | `twod_build` | Send-Coef-2D on the pipelined engine (`(u16,u16)` keys, dense reduce) | Send-Coef-2D on the seed engine |
+//! | `twod_query` | batched 2-D rectangle serving (endpoint sort + galloping walks) | one-rectangle-at-a-time serving |
 //!
-//! `wire_shuffle` is the one bench where the "optimized" side is expected
-//! to *cost more* (real fork + pipe + encode/decode versus in-memory
-//! moves): its gate watches that overhead ratio, and its `items_per_s`
-//! reports measured bytes-on-wire per second.
+//! `wire_shuffle` is expected to *cost more* on its "optimized" side
+//! (real fork + pipe + encode/decode versus in-memory moves): its gate
+//! watches that overhead ratio, and its `items_per_s` reports measured
+//! bytes-on-wire per second. `twod_query` can sit above 1.0 too — a 2-D
+//! histogram's per-axis segment arrays are capped at `u ≤ 2¹⁶` entries,
+//! so four tiny binary searches per rectangle are hard to beat and the
+//! batched side's endpoint sort is overhead until batches meet larger
+//! axes; the gate pins that ratio rather than assuming a speedup.
 //!
 //! Because both sides run on the same machine moments apart, the
 //! per-bench `relative_cost` (`wall_s / reference_wall_s`) is portable
@@ -44,12 +50,15 @@
 use std::time::Instant;
 
 use wh_core::builders::{HistogramBuilder, SendCoef, SendV, TwoLevelS};
+use wh_core::twod::{SendCoef2d, WaveletHistogram2d};
 use wh_core::{MaintainedHistogram, WaveletHistogram};
+use wh_data::twod::{Dataset2d, Distribution2d};
 use wh_data::DatasetBuilder;
 use wh_mapreduce::wire::WKey;
 use wh_mapreduce::{radix, run_job, ClusterConfig, EngineConfig, JobSpec, MapTask, RunMetrics};
-use wh_query::{BatchScratch, CompiledHistogram};
+use wh_query::{BatchScratch, BatchScratch2D, CompiledHistogram, CompiledHistogram2D};
 use wh_serve::ServeTier;
+use wh_wavelet::twod::{forward2d, pack_slot};
 use wh_wavelet::Domain;
 
 /// How the suite is scaled.
@@ -156,8 +165,152 @@ pub fn run_suite(opts: SuiteOptions) -> Vec<BenchRecord> {
         serve_throughput(opts),
         delta_merge("delta_merge_1pct", 1, opts),
         delta_merge("delta_merge_10pct", 10, opts),
+        twod_build(opts),
+        twod_query(opts),
     ]);
     records
+}
+
+/// The 2-D build path (PR 10): Send-Coef-2D on the pipelined engine —
+/// per-split sparse 2-D transforms shipped as `(u16, u16)` coefficient
+/// keys through a dense reduce — against the same builder on the seed
+/// engine. Histograms must be **bit-identical** and logical metrics
+/// equal; `items_per_s` reports records built per second.
+fn twod_build(opts: SuiteOptions) -> BenchRecord {
+    let (log_u, records, splits, k) = if opts.fast {
+        (5u32, 40_000u64, 8u32, 24usize)
+    } else {
+        (6, 400_000, 16, 64)
+    };
+    let ds = Dataset2d::new(
+        Domain::new(log_u).expect("valid log_u"),
+        Distribution2d::Correlated {
+            alpha: 1.1,
+            spread: 2,
+        },
+        records,
+        splits,
+        0x2d,
+    );
+    let cluster = ClusterConfig::paper_cluster();
+    let reducers = cluster.num_slaves() as u32;
+
+    let (ref_s, reference) = time_best(opts.repeats, || {
+        SendCoef2d::new()
+            .with_engine(with_threads(
+                EngineConfig::reference().with_reducers(reducers),
+                opts.threads,
+            ))
+            .build(&ds, &cluster, k)
+    });
+    let (wall_s, ours) = time_best(opts.repeats, || {
+        SendCoef2d::new()
+            .with_engine(with_threads(
+                EngineConfig::pipelined().with_reducers(reducers),
+                opts.threads,
+            ))
+            .build(&ds, &cluster, k)
+    });
+    let same_histogram = ours.histogram.coefficients() == reference.histogram.coefficients();
+    BenchRecord {
+        name: "twod_build",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: records as f64 / wall_s.max(1e-12),
+        outputs_match: same_histogram && ours.metrics == reference.metrics,
+        bytes_on_wire: 0,
+    }
+}
+
+/// 2-D rectangle serving (PR 10): batched range-selectivity over the
+/// compiled summed-area form — per-axis endpoint radix sort plus one
+/// galloping segment walk per axis — against answering the identical
+/// rectangles one at a time (four binary searches each). Answers must be
+/// bit-identical; `items_per_s` reports rectangle estimates per second.
+/// With a pinned thread budget both sides split the batch across that
+/// many serving threads sharing one `&CompiledHistogram2D`.
+fn twod_query(opts: SuiteOptions) -> BenchRecord {
+    let (log_u, k, num_queries) = if opts.fast {
+        (6u32, 256usize, 60_000usize)
+    } else {
+        (8, 2_048, 400_000)
+    };
+    let domain = Domain::new(log_u).expect("valid log_u");
+    let u = domain.u();
+
+    // A heavy-tailed 2-D grid: a diagonal density band plus scattered
+    // spikes, the correlated structure 1-D marginals would lose.
+    let grid: Vec<f64> = (0..u * u)
+        .map(|i| {
+            let (x, y) = (i / u, i % u);
+            let band = if x.abs_diff(y) < 4 { 50.0 } else { 0.0 };
+            band + (scramble(i) % 7) as f64 + if scramble(i) % 601 == 0 { 900.0 } else { 0.0 }
+        })
+        .collect();
+    let w = forward2d(domain, &grid);
+    let top = wh_wavelet::select::top_k_magnitude(
+        w.iter()
+            .enumerate()
+            .map(|(i, &c)| (pack_slot(i as u64 / u, i as u64 % u), c)),
+        k,
+    );
+    let hist = WaveletHistogram2d::new(domain, top.iter().map(|e| (e.slot, e.value)));
+    let compiled = CompiledHistogram2D::compile(&hist);
+
+    // Rectangles of mixed aspect, scattered over the grid.
+    let queries: Vec<(u64, u64, u64, u64)> = (0..num_queries as u64)
+        .map(|i| {
+            let xlo = scramble(i) % u;
+            let ylo = scramble(i ^ 0x2d2d) % u;
+            let xhi = (xlo + scramble(i ^ 0xa) % (u / 8).max(1)).min(u - 1);
+            let yhi = (ylo + scramble(i ^ 0xb) % (u / 8).max(1)).min(u - 1);
+            (xlo, xhi, ylo, yhi)
+        })
+        .collect();
+
+    let threads = opts.threads.max(1);
+    let chunk = num_queries.div_ceil(threads);
+    let compiled = &compiled;
+
+    let mut single_out = vec![0.0f64; num_queries];
+    let (ref_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for (qs, outs) in queries.chunks(chunk).zip(single_out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (slot, &q) in outs.iter_mut().zip(qs) {
+                        *slot = compiled.rectangle_sum(q);
+                    }
+                });
+            }
+        });
+    });
+
+    let mut scratches: Vec<BatchScratch2D> = (0..threads).map(|_| BatchScratch2D::new()).collect();
+    let mut batch_out = vec![0.0f64; num_queries];
+    let (wall_s, ()) = time_best(opts.repeats, || {
+        std::thread::scope(|s| {
+            for ((qs, outs), scratch) in queries
+                .chunks(chunk)
+                .zip(batch_out.chunks_mut(chunk))
+                .zip(scratches.iter_mut())
+            {
+                s.spawn(move || compiled.rectangle_sum_batch_into(qs, scratch, outs));
+            }
+        });
+    });
+
+    let outputs_match = single_out
+        .iter()
+        .zip(&batch_out)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    BenchRecord {
+        name: "twod_query",
+        wall_s,
+        reference_wall_s: ref_s,
+        items_per_s: num_queries as f64 / wall_s.max(1e-12),
+        outputs_match,
+        bytes_on_wire: 0,
+    }
 }
 
 /// Incremental maintenance vs full rebuild (PR 9): absorb a churn-sized
@@ -1001,7 +1154,7 @@ fn render_section(out: &mut String, name: &str, records: &[BenchRecord], last: b
     out.push_str(if last { "  ]\n" } else { "  ],\n" });
 }
 
-/// Renders the machine-readable suite report (the `BENCH_PR9.json`
+/// Renders the machine-readable suite report (the `BENCH_PR10.json`
 /// schema): one JSON array per `(section name, records)` pair. Any subset
 /// of sections may be present; the committed baseline carries every
 /// combination CI gates plus the unpinned full/fast sections, so each
@@ -1010,7 +1163,7 @@ pub fn render_json(sections: &[(String, Vec<BenchRecord>)], repeats: usize) -> S
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"wh-bench-suite/1\",\n");
-    out.push_str("  \"suite\": \"PR9\",\n");
+    out.push_str("  \"suite\": \"PR10\",\n");
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
     if sections.is_empty() {
@@ -1242,7 +1395,7 @@ mod tests {
             v.get("schema"),
             Some(&serde_json::Value::Str("wh-bench-suite/1".into()))
         );
-        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR9".into())));
+        assert_eq!(v.get("suite"), Some(&serde_json::Value::Str("PR10".into())));
         // Round-trip gate: the file we commit must satisfy our own checker,
         // per section.
         check_regression(&json, &full, "benches", 0.25).expect("full self-comparison");
@@ -1384,7 +1537,7 @@ mod tests {
             repeats: 1,
             threads: 2,
         });
-        assert_eq!(records.len(), 12 + 2 * usize::from(cfg!(unix)));
+        assert_eq!(records.len(), 14 + 2 * usize::from(cfg!(unix)));
         for r in &records {
             assert!(r.outputs_match, "{} outputs diverged", r.name);
             assert!(r.wall_s > 0.0 && r.reference_wall_s > 0.0, "{}", r.name);

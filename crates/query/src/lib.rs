@@ -88,14 +88,17 @@
 
 mod batch;
 mod compiled;
+mod compiled2d;
 mod error;
 mod shard;
 
 pub use batch::BatchScratch;
 pub use compiled::CompiledHistogram;
+pub use compiled2d::{BatchScratch2D, CompiledHistogram2D};
 pub use error::QueryError;
 pub use shard::{HistogramShard, ShardedHistogram};
 
-// Re-exported so callers of this crate can name the input type without
+// Re-exported so callers of this crate can name the input types without
 // depending on `wh-core` directly.
+pub use wh_core::twod::WaveletHistogram2d;
 pub use wh_core::WaveletHistogram;

@@ -76,4 +76,7 @@ pub use tier::{
 
 // Re-exported so serving callers can name query types without depending
 // on `wh-query` directly.
-pub use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
+pub use wh_query::{
+    BatchScratch, BatchScratch2D, CompiledHistogram, CompiledHistogram2D, QueryError,
+    ShardedHistogram,
+};

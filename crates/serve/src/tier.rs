@@ -49,7 +49,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use wh_query::{BatchScratch, CompiledHistogram, QueryError, ShardedHistogram};
+use wh_query::{
+    BatchScratch, BatchScratch2D, CompiledHistogram, CompiledHistogram2D, QueryError,
+    ShardedHistogram,
+};
 
 use crate::epoch::{EpochReader, EpochSwap};
 
@@ -135,6 +138,17 @@ struct DatasetEntry {
     sharded: ShardedHistogram,
 }
 
+/// One published **2-D** histogram (PR 10): the compiled rectangle-query
+/// form plus its record count. 2-D datasets live in their own id
+/// namespace next to the 1-D entries and ride the same epoch swap —
+/// publishing either kind bumps the one shared generation.
+#[derive(Debug)]
+struct DatasetEntry2d {
+    id: DatasetId,
+    records: u64,
+    compiled: CompiledHistogram2D,
+}
+
 /// One complete generation of the tier: every published dataset,
 /// ascending by id. Immutable once built — the epoch swap publishes
 /// whole snapshots, so a reader holds either all of generation `g` or
@@ -143,6 +157,7 @@ struct DatasetEntry {
 pub struct Snapshot {
     generation: u64,
     entries: Vec<Arc<DatasetEntry>>,
+    entries2d: Vec<Arc<DatasetEntry2d>>,
 }
 
 impl Snapshot {
@@ -151,15 +166,27 @@ impl Snapshot {
         self.generation
     }
 
-    /// Number of datasets published in this snapshot.
+    /// Number of 1-D datasets published in this snapshot.
     pub fn num_datasets(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of 2-D datasets published in this snapshot.
+    pub fn num_datasets_2d(&self) -> usize {
+        self.entries2d.len()
     }
 
     fn entry(&self, id: DatasetId) -> Result<&DatasetEntry, ServeError> {
         self.entries
             .binary_search_by_key(&id, |e| e.id)
             .map(|i| &*self.entries[i])
+            .map_err(|_| ServeError::UnknownDataset(id))
+    }
+
+    fn entry2d(&self, id: DatasetId) -> Result<&DatasetEntry2d, ServeError> {
+        self.entries2d
+            .binary_search_by_key(&id, |e| e.id)
+            .map(|i| &*self.entries2d[i])
             .map_err(|_| ServeError::UnknownDataset(id))
     }
 }
@@ -191,6 +218,7 @@ impl ServeTier {
             swap: EpochSwap::new(Arc::new(Snapshot {
                 generation: 0,
                 entries: Vec::new(),
+                entries2d: Vec::new(),
             })),
             writer: Mutex::new(()),
             failures: Mutex::new(HashMap::new()),
@@ -223,11 +251,57 @@ impl ServeTier {
         self.swap.store(Arc::new(Snapshot {
             generation,
             entries,
+            entries2d: current.entries2d.clone(),
         }));
         drop(_writer);
         // A landed publish heals the dataset whatever its failure streak.
         self.failures.lock().remove(&id);
         generation
+    }
+
+    /// Publishes (or republishes) a compiled **2-D** histogram under
+    /// `id` (its own namespace, separate from the 1-D ids), with
+    /// selectivities relative to `records`. The snapshot swaps in
+    /// atomically exactly as for [`ServeTier::publish`]: readers
+    /// mid-batch keep the previous generation and never observe a
+    /// half-published tier.
+    pub fn publish2d(&self, id: DatasetId, compiled: &CompiledHistogram2D, records: u64) -> u64 {
+        let entry = Arc::new(DatasetEntry2d {
+            id,
+            records,
+            compiled: compiled.clone(),
+        });
+        let _writer = self.writer.lock();
+        let (_, current) = self.swap.load();
+        let mut entries2d = current.entries2d.clone();
+        match entries2d.binary_search_by_key(&id, |e| e.id) {
+            Ok(i) => entries2d[i] = entry,
+            Err(i) => entries2d.insert(i, entry),
+        }
+        let generation = current.generation + 1;
+        self.swap.store(Arc::new(Snapshot {
+            generation,
+            entries: current.entries.clone(),
+            entries2d,
+        }));
+        generation
+    }
+
+    /// Withdraws 2-D dataset `id` from serving. Returns the new
+    /// generation, or `None` (and publishes nothing) when absent.
+    pub fn remove2d(&self, id: DatasetId) -> Option<u64> {
+        let _writer = self.writer.lock();
+        let (_, current) = self.swap.load();
+        let i = current.entries2d.binary_search_by_key(&id, |e| e.id).ok()?;
+        let mut entries2d = current.entries2d.clone();
+        entries2d.remove(i);
+        let generation = current.generation + 1;
+        self.swap.store(Arc::new(Snapshot {
+            generation,
+            entries: current.entries.clone(),
+            entries2d,
+        }));
+        Some(generation)
     }
 
     /// Publishes the result of a **fallible** rebuild of `id`. The
@@ -289,6 +363,7 @@ impl ServeTier {
         self.swap.store(Arc::new(Snapshot {
             generation,
             entries,
+            entries2d: current.entries2d.clone(),
         }));
         drop(_writer);
         self.failures.lock().remove(&id);
@@ -317,6 +392,7 @@ impl ServeTier {
             tier: self,
             reader: self.swap.reader(),
             scratch: BatchScratch::new(),
+            scratch2d: BatchScratch2D::new(),
         }
     }
 }
@@ -332,6 +408,7 @@ pub struct ServeHandle<'t> {
     tier: &'t ServeTier,
     reader: EpochReader<Snapshot>,
     scratch: BatchScratch,
+    scratch2d: BatchScratch2D,
 }
 
 impl ServeHandle<'_> {
@@ -406,6 +483,75 @@ impl ServeHandle<'_> {
     pub fn try_point_estimate(&mut self, id: DatasetId, x: u64) -> Result<f64, ServeError> {
         let snap = self.reader.get(&self.tier.swap);
         Ok(snap.entry(id)?.sharded.try_point_estimate(x)?)
+    }
+
+    /// Answers a batch of 2-D rectangle sums from `id` into `out`,
+    /// bit-identical to the published [`CompiledHistogram2D`]. Each
+    /// query is `(xlo, xhi, ylo, yhi)`, inclusive on both axes.
+    pub fn try_rectangle_sum_batch_into(
+        &mut self,
+        id: DatasetId,
+        queries: &[(u64, u64, u64, u64)],
+        out: &mut [f64],
+    ) -> Result<(), ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry2d(id)?;
+        entry
+            .compiled
+            .try_rectangle_sum_batch_into(queries, &mut self.scratch2d, out)?;
+        Ok(())
+    }
+
+    /// Answers a batch of 2-D rectangle selectivities from `id` into
+    /// `out`, relative to the record count published with the dataset.
+    pub fn try_rectangle_selectivity_batch_into(
+        &mut self,
+        id: DatasetId,
+        queries: &[(u64, u64, u64, u64)],
+        out: &mut [f64],
+    ) -> Result<(), ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry2d(id)?;
+        entry.compiled.try_selectivity_batch_into(
+            queries,
+            entry.records,
+            &mut self.scratch2d,
+            out,
+        )?;
+        Ok(())
+    }
+
+    /// One 2-D rectangle sum from `id`.
+    pub fn try_rectangle_sum(
+        &mut self,
+        id: DatasetId,
+        query: (u64, u64, u64, u64),
+    ) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        Ok(snap.entry2d(id)?.compiled.try_rectangle_sum(query)?)
+    }
+
+    /// One 2-D rectangle selectivity from `id`, relative to its
+    /// published record count.
+    pub fn try_rectangle_selectivity(
+        &mut self,
+        id: DatasetId,
+        query: (u64, u64, u64, u64),
+    ) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        let entry = snap.entry2d(id)?;
+        Ok(entry.compiled.try_selectivity(query, entry.records)?)
+    }
+
+    /// One 2-D cell estimate from `id`.
+    pub fn try_point_estimate2d(
+        &mut self,
+        id: DatasetId,
+        x: u64,
+        y: u64,
+    ) -> Result<f64, ServeError> {
+        let snap = self.reader.get(&self.tier.swap);
+        Ok(snap.entry2d(id)?.compiled.try_point_estimate(x, y)?)
     }
 }
 
@@ -519,6 +665,69 @@ mod tests {
             h.try_range_sum(5, 0, 0).unwrap().to_bits(),
             new.range_sum(0, 0).to_bits()
         );
+    }
+
+    #[test]
+    fn twod_publish_swap_and_remove_share_the_generation() {
+        use wh_core::twod::WaveletHistogram2d;
+        use wh_query::CompiledHistogram2D;
+        let domain = Domain::new(3).unwrap();
+        // Average-only histograms (packed slot 0 is the 2-D average).
+        let old = CompiledHistogram2D::compile(&WaveletHistogram2d::new(domain, [(0, 64.0 / 8.0)]));
+        let new = CompiledHistogram2D::compile(&WaveletHistogram2d::new(domain, [(0, 32.0 / 8.0)]));
+        let tier = ServeTier::new(2);
+        let oned = compiled_from_signal(&[1.0, 2.0, 3.0, 4.0], 4);
+        assert_eq!(tier.publish(5, &oned, 10), 1);
+        assert_eq!(tier.publish2d(5, &old, 64), 2); // same id, own namespace
+        let mut h = tier.handle();
+        assert_eq!(h.snapshot().num_datasets(), 1);
+        assert_eq!(h.snapshot().num_datasets_2d(), 1);
+
+        // Bit-identical to direct serving, single and batched.
+        let queries = [(0, 7, 0, 7), (1, 3, 2, 5), (0, 0, 0, 0)];
+        let mut got = [0.0; 3];
+        h.try_rectangle_sum_batch_into(5, &queries, &mut got)
+            .unwrap();
+        for (&q, &g) in queries.iter().zip(&got) {
+            assert_eq!(g.to_bits(), old.rectangle_sum(q).to_bits());
+        }
+        assert_eq!(
+            h.try_rectangle_selectivity(5, (0, 7, 0, 7))
+                .unwrap()
+                .to_bits(),
+            old.selectivity((0, 7, 0, 7), 64).to_bits()
+        );
+        assert_eq!(
+            h.try_point_estimate2d(5, 3, 3).unwrap().to_bits(),
+            old.point_estimate(3, 3).to_bits()
+        );
+
+        // Republish swaps answers atomically for the existing handle,
+        // and leaves the 1-D entry serving untouched.
+        tier.publish2d(5, &new, 64);
+        assert_eq!(
+            h.try_rectangle_sum(5, (0, 7, 0, 7)).unwrap().to_bits(),
+            new.rectangle_sum((0, 7, 0, 7)).to_bits()
+        );
+        assert_eq!(
+            h.try_range_sum(5, 0, 3).unwrap().to_bits(),
+            oned.range_sum(0, 3).to_bits()
+        );
+
+        // Unknown ids and malformed queries are errors, not panics.
+        assert_eq!(
+            h.try_rectangle_sum(6, (0, 1, 0, 1)),
+            Err(ServeError::UnknownDataset(6))
+        );
+        assert_eq!(
+            h.try_rectangle_sum(5, (3, 2, 0, 1)),
+            Err(ServeError::Query(QueryError::EmptyRange { lo: 3, hi: 2 }))
+        );
+
+        assert_eq!(tier.remove2d(5), Some(4));
+        assert_eq!(tier.remove2d(5), None);
+        assert_eq!(h.snapshot().num_datasets_2d(), 0);
+        assert_eq!(h.snapshot().num_datasets(), 1);
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Two-dimensional wavelet histograms (§3/§4 "Multi-dimensional
-//! wavelets"): summarise a correlated 2-D key distribution — think
-//! (src_ip, dest_ip) pairs in network traffic — with the exact distributed
-//! algorithm and the two-level sampler.
+//! wavelets"), end to end through the PR 10 pipeline: build the 2-D
+//! histogram on the MapReduce engine (`Send-Coef-2D`, shipping
+//! `(u16, u16)` coefficient keys through a dense reduce), compile it
+//! into the allocation-free rectangle-query form, publish it through the
+//! epoch-swapped serving tier, and answer batched range-selectivity
+//! queries — with the paper's simulated baselines alongside for the
+//! communication comparison.
 //!
 //! ```text
 //! cargo run --release --example two_dimensional
@@ -10,7 +14,9 @@
 use wavelet_hist::data::twod::{Dataset2d, Distribution2d};
 use wavelet_hist::mapreduce::metrics::human_bytes;
 use wavelet_hist::mapreduce::ClusterConfig;
-use wavelet_hist::twod::{centralized2d, h_wtopk2d, two_level_s2d};
+use wavelet_hist::query::CompiledHistogram2D;
+use wavelet_hist::serve::ServeTier;
+use wavelet_hist::twod::{centralized2d, h_wtopk2d, two_level_s2d, SendCoef2d};
 use wavelet_hist::wavelet::Domain;
 
 fn main() {
@@ -35,6 +41,8 @@ fn main() {
         dataset.num_splits()
     );
 
+    // The engine-built exact path next to the simulated baselines.
+    let engine = SendCoef2d::new().build(&dataset, &cluster, k);
     let exact = centralized2d(&dataset, &cluster, k);
     let hw = h_wtopk2d(&dataset, &cluster, k);
     let tl = two_level_s2d(&dataset, &cluster, k, 0.02, 9);
@@ -44,6 +52,7 @@ fn main() {
         "method", "comm", "scanned", "time"
     );
     for (name, r) in [
+        ("Send-Coef-2D", &engine),
         ("Centralized", &exact),
         ("H-WTopk (2-D)", &hw),
         ("TwoLevel-S (2-D)", &tl),
@@ -55,20 +64,64 @@ fn main() {
             r.metrics.sim_time_s,
         );
     }
+    let s = engine.metrics.reduce_strategies;
+    println!(
+        "\nSend-Coef-2D ran on the pipelined engine \
+         (reduce partitions: {} dense / {} sorted / {} merged — at this \
+         [2^7]² domain the (u16,u16) key hint is above the dense-table \
+         ceiling, so the engine falls back to sort/merge; at [2^6]² and \
+         below it reduces densely)",
+        s.dense_reduce, s.sort_at_reduce, s.merge
+    );
 
-    // The exact distributed method reproduces the centralized result.
-    let same = exact
+    // The engine-built histogram reproduces the centralized top-k.
+    let same = engine
         .histogram
         .coefficients()
         .iter()
-        .zip(hw.histogram.coefficients())
+        .zip(exact.histogram.coefficients())
         .all(|(a, b)| (a.1.abs() - b.1.abs()).abs() < 1e-6);
-    println!("\nH-WTopk (2-D) matches centralized top-k magnitudes: {same}");
+    println!("Send-Coef-2D matches centralized top-k magnitudes: {same}");
+
+    // Serve it: compile to the summed-area form, publish to the tier,
+    // and answer rectangle selectivities through a handle — the shape a
+    // query optimizer's cardinality probe takes.
+    let compiled = CompiledHistogram2D::compile(&engine.histogram);
+    let tier = ServeTier::new(4);
+    let n = dataset.num_records();
+    tier.publish2d(1, &compiled, n);
+    let mut handle = tier.handle();
+
+    let u = dataset.domain().u();
+    let truth = dataset.exact_frequency_array();
+    let queries = [
+        (0u64, 15u64, 0u64, 15u64), // dense corner of the band
+        (0, u - 1, 0, u - 1),       // everything
+        (32, 47, 30, 49),           // mid-band window
+        (90, 110, 0, 20),           // off-diagonal: near-empty
+    ];
+    let mut sums = vec![0.0; queries.len()];
+    handle
+        .try_rectangle_sum_batch_into(1, &queries, &mut sums)
+        .expect("published dataset");
+
+    println!("\nrectangle selectivity (served vs exact):");
+    for (&(xlo, xhi, ylo, yhi), &est) in queries.iter().zip(&sums) {
+        let mut brute = 0u64;
+        for x in xlo..=xhi {
+            for y in ylo..=yhi {
+                brute += truth[(x * u + y) as usize];
+            }
+        }
+        println!(
+            "  [{xlo:>3},{xhi:>3}]x[{ylo:>3},{yhi:>3}]  est {:>8.4}%   exact {:>8.4}%",
+            100.0 * est / n as f64,
+            100.0 * brute as f64 / n as f64,
+        );
+    }
 
     // Probe the density structure through the sampled histogram.
     println!("\ncell density estimates (TwoLevel-S vs exact):");
-    let truth = dataset.exact_frequency_array();
-    let u = dataset.domain().u();
     for (x, y) in [(0u64, 0u64), (0, 4), (5, 5), (40, 44), (90, 20)] {
         let t = truth[(x * u + y) as usize];
         let e = tl.histogram.point_estimate(x, y);

@@ -210,6 +210,30 @@ fn topk_membership_churns_under_cancelling_deltas() {
     );
 }
 
+/// Negative (PR 10): the maintainer is a strictly 1-D component — a
+/// delta key at or beyond `u` is rejected up front with a domain panic,
+/// not folded into a wrong bucket.
+#[test]
+#[should_panic(expected = "outside")]
+fn maintainer_rejects_keys_outside_its_domain() {
+    let domain = Domain::new(6).unwrap();
+    let mut m = MaintainedHistogram::new(domain, 8);
+    m.merge_delta([(domain.u(), 1u64)]);
+}
+
+/// Negative (PR 10): packed 2-D slots (`pack_slot(r, c) = r·2³² + c`,
+/// the key space of `WaveletHistogram2d`) must not alias through the
+/// 1-D maintainer. Feeding one is the same domain violation — 2-D data
+/// goes through `SendCoef2d`, never through `MaintainedHistogram`.
+#[test]
+#[should_panic(expected = "outside")]
+fn maintainer_rejects_packed_2d_slots() {
+    let domain = Domain::new(6).unwrap();
+    let mut m = MaintainedHistogram::new(domain, 8);
+    let packed_2d_slot = wavelet_hist::wavelet::twod::pack_slot(1, 3);
+    m.merge_delta([(packed_2d_slot, 1u64)]);
+}
+
 // ---------------------------------------------------------------------------
 // 3. Coefficient-space merge on pruned histograms (the approximate path).
 // ---------------------------------------------------------------------------

@@ -303,6 +303,75 @@ fn deterministic_task_failures_exhaust_the_retry_budget() {
     }
 }
 
+/// Satellite (PR 10): the 2-D build path under chaos. Send-Coef-2D
+/// ships `(u16, u16)` coefficient keys over the wire; a killed,
+/// corrupted, or stalled worker must recover to the **bit-identical**
+/// histogram and logical metrics of the fault-free run, with measured
+/// bytes still equal to accounted bytes — and at zero retries the same
+/// faults surface as typed errors from `try_build`.
+#[test]
+fn twod_build_recovers_bit_identically_under_chaos() {
+    use wavelet_hist::data::twod::{Dataset2d, Distribution2d};
+    use wavelet_hist::twod::{sequential_send_coef2d, SendCoef2d};
+
+    let ds = Dataset2d::new(
+        Domain::new(5).unwrap(),
+        Distribution2d::Correlated {
+            alpha: 1.1,
+            spread: 2,
+        },
+        8_000,
+        SPLITS as u32,
+        0x2d10,
+    );
+    let cluster = ClusterConfig::paper_cluster();
+    let k = 24;
+    let want = sequential_send_coef2d(&ds, k);
+    let clean = SendCoef2d::new()
+        .with_engine(chaos_engine(2))
+        .build(&ds, &cluster, k);
+    assert_eq!(clean.histogram.coefficients(), want.coefficients());
+
+    let faults = [
+        FaultPlan::none().kill_worker_before_task(0, 0),
+        FaultPlan::none().kill_worker_before_task(1, 2),
+        FaultPlan::none().corrupt_worker_frame(0, 1),
+        FaultPlan::none().truncate_worker_after_frame(1, 2),
+        FaultPlan::none().stall_worker(0, 10_000),
+    ];
+    for (i, &plan) in faults.iter().enumerate() {
+        let engine = chaos_engine(2).with_read_deadline_ms(250).with_faults(plan);
+        let got = SendCoef2d::new()
+            .with_engine(engine)
+            .build(&ds, &cluster, k);
+        assert_eq!(
+            got.histogram.coefficients(),
+            want.coefficients(),
+            "fault #{i}: recovered 2-D histogram must be bit-identical"
+        );
+        assert_eq!(got.metrics, clean.metrics, "fault #{i}: logical metrics");
+        assert!(got.metrics.recovery.recovered(), "fault #{i}");
+        assert_eq!(
+            got.metrics.wire.pair_bytes, got.metrics.shuffle_bytes,
+            "fault #{i}: each (u16, u16) pair crosses the wire once"
+        );
+        validate_measured_shuffle(&got.metrics).expect("recovered 2-D run validates");
+    }
+
+    // Zero retries: the kill surfaces as a typed error, not a panic.
+    let engine = chaos_engine(2)
+        .with_task_retries(0)
+        .with_faults(FaultPlan::none().kill_worker_before_task(1, 0));
+    match SendCoef2d::new()
+        .with_engine(engine)
+        .try_build(&ds, &cluster, k)
+        .unwrap_err()
+    {
+        EngineError::WorkerDied { worker, .. } => assert_eq!(worker, 1),
+        other => panic!("expected WorkerDied, got {other}"),
+    }
+}
+
 /// The recovery block itself: attempts count every launch (fault-free
 /// runs report `attempts == workers`, zero everything else), and a
 /// killed worker adds exactly one respawn with its remaining tasks.

@@ -382,6 +382,43 @@ proptest! {
         );
     }
 
+    /// Satellite (PR 10): the `(u16, u16)` coefficient-key codec that
+    /// carries 2-D wavelet slots through the shuffle. Its `u64` image is
+    /// strictly order-preserving — `a < b ⇔ a.to_radix() < b.to_radix()`
+    /// on full-range pairs, where only the second component breaking the
+    /// tie is the case the packing could plausibly get wrong — and the
+    /// radix sort of full-range and heavy-tie pair streams produces the
+    /// identical permutation as the stable comparison sort, ties
+    /// preserving (split, arrival) order.
+    #[test]
+    fn u16_pair_radix_image_preserves_order(
+        raw in prop::collection::vec(0u64..u64::MAX, 2..400),
+    ) {
+        use wavelet_hist::mapreduce::RadixKey;
+        let full: Vec<(u16, u16)> = raw
+            .iter()
+            .map(|&x| (x as u16, (x >> 16) as u16))
+            .collect();
+        let tied: Vec<(u16, u16)> = raw
+            .iter()
+            .map(|&x| (x as u16 % 7, (x >> 16) as u16 % 5))
+            .collect();
+        for pairs in [&full, &tied] {
+            for w in pairs.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                prop_assert_eq!(
+                    a.cmp(&b),
+                    a.to_radix().cmp(&b.to_radix()),
+                    "image must order exactly like the pair: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+        assert_radix_sort_matches::<(u16, u16)>(full);
+        assert_radix_sort_matches::<(u16, u16)>(tied);
+    }
+
     /// Satellite (PR 5): the min-rebased counting path — a run whose keys
     /// live in a narrow `[lo, hi]` band far from zero, the shape every
     /// partition of a range-partitioned job hands the sorter — still

@@ -1,0 +1,398 @@
+//! 2-D histograms through the whole pipeline (PR 10): the engine-built
+//! Send-Coef-2D path against its sequential reference, the compiled
+//! rectangle-query form against brute-force truth, and 2-D serving
+//! through the epoch-swapped tier.
+//!
+//! Four contracts are pinned:
+//!
+//! * **Differential build** — the engine-built 2-D histogram equals the
+//!   sequential `twod.rs` reference **bit for bit** across
+//!   {dense-reduce, sort-at-reduce, merge} × {1, 2, 8} reducers ×
+//!   {1, 4} threads × the reference engine, and (on unix) across forked
+//!   multi-process workers carrying the `(u16, u16)` coefficient keys
+//!   over the wire.
+//! * **Error bounds** — against the exact 2-D frequency array, every
+//!   cell estimate errs by at most `√SSE` and every rectangle sum by at
+//!   most `√(area · SSE)` (Cauchy–Schwarz over the per-cell error grid);
+//!   the SSE itself equals the dropped-coefficient energy by Parseval
+//!   (the nonseparable 2-D transform is orthonormal), and full retention
+//!   reconstructs the data exactly.
+//! * **Bit-identity of serving** — batched rectangle queries equal
+//!   one-at-a-time queries bit for bit, and the epoch-swapped tier
+//!   equals direct compiled serving bit for bit, across republishes and
+//!   from concurrent reader threads.
+//! * **Data shapes** — all of the above on correlated 2-D Zipf and on
+//!   WorldCup-style (time × object) data.
+
+use wavelet_hist::data::twod::{Dataset2d, Distribution2d};
+use wavelet_hist::mapreduce::{ClusterConfig, EngineConfig, RunMetrics};
+use wavelet_hist::query::{BatchScratch2D, CompiledHistogram2D};
+use wavelet_hist::serve::{ServeError, ServeTier};
+use wavelet_hist::twod::{sequential_send_coef2d, SendCoef2d, WaveletHistogram2d};
+use wavelet_hist::wavelet::Domain;
+
+const K: usize = 24;
+
+/// Correlated 2-D Zipf: mass in a diagonal band, most cells empty.
+fn zipf2d() -> Dataset2d {
+    Dataset2d::new(
+        Domain::new(5).unwrap(),
+        Distribution2d::Correlated {
+            alpha: 1.1,
+            spread: 2,
+        },
+        24_000,
+        8,
+        0x2d10,
+    )
+}
+
+/// WorldCup-style time × object: Zipf(1.05) objects bursting at
+/// per-object phases in time.
+fn worldcup2d() -> Dataset2d {
+    Dataset2d::new(
+        Domain::new(5).unwrap(),
+        Distribution2d::WorldCup,
+        20_000,
+        6,
+        0x10c,
+    )
+}
+
+fn datasets() -> Vec<(&'static str, Dataset2d)> {
+    vec![("zipf2d", zipf2d()), ("worldcup2d", worldcup2d())]
+}
+
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z ^ (z >> 27)
+}
+
+/// Seeded inclusive rectangles `(xlo, xhi, ylo, yhi)` over `[u]²`.
+fn random_rects(u: u64, count: usize, seed: u64) -> Vec<(u64, u64, u64, u64)> {
+    (0..count as u64)
+        .map(|i| {
+            let xlo = scramble(seed ^ i) % u;
+            let xhi = xlo + scramble(seed ^ i ^ 0xaaaa) % (u - xlo);
+            let ylo = scramble(seed ^ i ^ 0x5555) % u;
+            let yhi = ylo + scramble(seed ^ i ^ 0xffff) % (u - ylo);
+            (xlo, xhi, ylo, yhi)
+        })
+        .collect()
+}
+
+fn assert_coefs_eq(got: &WaveletHistogram2d, want: &WaveletHistogram2d, ctx: &str) {
+    assert_eq!(
+        got.coefficients().len(),
+        want.coefficients().len(),
+        "coefficient count diverged: {ctx}"
+    );
+    for (g, w) in got.coefficients().iter().zip(want.coefficients()) {
+        assert_eq!(g.0, w.0, "slot diverged: {ctx}");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "value diverged at slot {}: {ctx}",
+            g.0
+        );
+    }
+}
+
+/// Tentpole differential: the engine-built 2-D histogram is bit-identical
+/// to the sequential reference on every reduce strategy, reducer count,
+/// thread count, and engine — and the strategy really varies: the tight
+/// `(u16, u16)` key-domain hint selects dense-reduce, withholding it
+/// selects sort-at-reduce (several reducers) or merge (one reducer).
+#[test]
+fn engine_built_matches_sequential_reference_across_strategies() {
+    let cluster = ClusterConfig::paper_cluster();
+    for (name, ds) in datasets() {
+        let want = sequential_send_coef2d(&ds, K);
+        for reducers in [1u32, 2, 8] {
+            for tight in [true, false] {
+                let mut metrics: Option<RunMetrics> = None;
+                for threads in [1usize, 4] {
+                    let engines = [
+                        EngineConfig::pipelined()
+                            .with_reducers(reducers)
+                            .with_map_parallelism(threads)
+                            .with_reducer_parallelism(threads),
+                        EngineConfig::reference().with_reducers(reducers),
+                    ];
+                    for (e, engine) in engines.into_iter().enumerate() {
+                        let ctx =
+                            format!("{name} r={reducers} tight={tight} t={threads} engine={e}");
+                        let got = SendCoef2d::new()
+                            .with_tight_hint(tight)
+                            .with_engine(engine)
+                            .build(&ds, &cluster, K);
+                        assert_coefs_eq(&got.histogram, &want, &ctx);
+                        // Logical metrics agree across every execution.
+                        match &metrics {
+                            None => metrics = Some(got.metrics),
+                            Some(m) => assert_eq!(*m, got.metrics, "metrics diverged: {ctx}"),
+                        }
+                        // The pipelined engine must really exercise the
+                        // advertised strategy (the reference engine does
+                        // not plan strategies).
+                        if e == 0 {
+                            let s = metrics.as_ref().unwrap().reduce_strategies;
+                            let got_s = got.metrics.reduce_strategies;
+                            assert_eq!(got_s.total(), s.total(), "{ctx}");
+                            if tight {
+                                assert_eq!(got_s.dense_reduce, got_s.total(), "{ctx}");
+                            } else if reducers > 1 {
+                                assert_eq!(got_s.sort_at_reduce, got_s.total(), "{ctx}");
+                            } else {
+                                assert_eq!(got_s.merge, 1, "{ctx}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The multi-process leg of the differential: forked map workers carry
+/// the `(u16, u16)` coefficient keys over the wire bit-identically, with
+/// the framed traffic really measured.
+#[cfg(unix)]
+#[test]
+fn engine_built_bit_identical_across_worker_processes() {
+    let cluster = ClusterConfig::paper_cluster();
+    let ds = zipf2d();
+    let want = sequential_send_coef2d(&ds, K);
+    for reducers in [1u32, 2, 8] {
+        let in_process = SendCoef2d::new()
+            .with_engine(EngineConfig::default().with_reducers(reducers))
+            .build(&ds, &cluster, K);
+        assert_eq!(
+            in_process.metrics.wire.frames, 0,
+            "in-process runs must not frame traffic"
+        );
+        for workers in [1usize, 2, 4] {
+            let engine = EngineConfig::multi_process()
+                .with_reducers(reducers)
+                .with_map_parallelism(workers);
+            let got = SendCoef2d::new()
+                .with_engine(engine)
+                .build(&ds, &cluster, K);
+            let ctx = format!("r={reducers} w={workers}");
+            assert_coefs_eq(&got.histogram, &want, &ctx);
+            assert_eq!(got.metrics, in_process.metrics, "metrics diverged: {ctx}");
+            assert!(got.metrics.bytes_on_wire() > 0, "{ctx}");
+            assert_eq!(
+                got.metrics.wire.pair_bytes, got.metrics.shuffle_bytes,
+                "every shuffled pair crosses the wire exactly once: {ctx}"
+            );
+        }
+    }
+}
+
+/// Shared truth for the error-bound legs: the estimate grid, its SSE
+/// against the exact frequency array, and the exact array itself.
+fn estimate_grid(compiled: &CompiledHistogram2D, truth: &[u64], u: u64) -> (Vec<f64>, f64) {
+    let mut est = vec![0.0f64; (u * u) as usize];
+    let mut sse = 0.0f64;
+    for x in 0..u {
+        for y in 0..u {
+            let idx = (x * u + y) as usize;
+            let e = compiled.point_estimate(x, y);
+            est[idx] = e;
+            let d = e - truth[idx] as f64;
+            sse += d * d;
+        }
+    }
+    (est, sse)
+}
+
+/// Error bounds of the compiled 2-D estimates against brute force:
+/// `√SSE` per cell, `√(area · SSE)` per rectangle (Cauchy–Schwarz), and
+/// the SSE itself equals the dropped-coefficient energy (Parseval).
+#[test]
+fn compiled_estimates_within_brute_force_bounds() {
+    let cluster = ClusterConfig::paper_cluster();
+    for (name, ds) in datasets() {
+        let u = ds.domain().u();
+        let truth = ds.exact_frequency_array();
+        let total_energy: f64 = truth.iter().map(|&c| (c as f64) * (c as f64)).sum();
+        for k in [16usize, 64] {
+            let result = SendCoef2d::new().build(&ds, &cluster, k);
+            let compiled = CompiledHistogram2D::compile(&result.histogram);
+            let (_, sse) = estimate_grid(&compiled, &truth, u);
+
+            // Parseval: the transform is orthonormal and Send-Coef-2D
+            // retains the exact top-k coefficients, so the
+            // reconstruction's SSE is exactly the dropped energy.
+            let retained: f64 = result
+                .histogram
+                .coefficients()
+                .iter()
+                .map(|&(_, v)| v * v)
+                .sum();
+            let dropped = total_energy - retained;
+            assert!(
+                (sse - dropped).abs() <= 1e-6 * total_energy.max(1.0),
+                "{name} k={k}: grid SSE {sse} vs dropped energy {dropped}"
+            );
+
+            // Point bound: |est − true| ≤ √SSE for every cell.
+            let point_bound = sse.sqrt() * (1.0 + 1e-9) + 1e-6;
+            for x in 0..u {
+                for y in 0..u {
+                    let err =
+                        (compiled.point_estimate(x, y) - truth[(x * u + y) as usize] as f64).abs();
+                    assert!(
+                        err <= point_bound,
+                        "{name} k={k} ({x},{y}): error {err} > √SSE {point_bound}"
+                    );
+                }
+            }
+
+            // Rectangle bound: |est − true| ≤ √(area · SSE).
+            for &(xlo, xhi, ylo, yhi) in &random_rects(u, 300, 0xbeef ^ k as u64) {
+                let mut true_sum = 0u64;
+                for x in xlo..=xhi {
+                    for y in ylo..=yhi {
+                        true_sum += truth[(x * u + y) as usize];
+                    }
+                }
+                let est = compiled.rectangle_sum((xlo, xhi, ylo, yhi));
+                let area = ((xhi - xlo + 1) * (yhi - ylo + 1)) as f64;
+                let bound = (area * sse).sqrt() * (1.0 + 1e-9) + 1e-6;
+                let err = (est - true_sum as f64).abs();
+                assert!(
+                    err <= bound,
+                    "{name} k={k} [{xlo},{xhi}]x[{ylo},{yhi}]: error {err} > bound {bound}"
+                );
+                // Selectivity is the clamped normalized sum.
+                let sel = compiled.selectivity((xlo, xhi, ylo, yhi), ds.num_records());
+                assert!((0.0..=1.0).contains(&sel), "{name} k={k}: {sel}");
+            }
+        }
+    }
+}
+
+/// Full retention reconstructs the data exactly: SSE ≈ 0 and every cell
+/// estimate equals its true count.
+#[test]
+fn full_retention_reconstructs_exactly() {
+    let cluster = ClusterConfig::paper_cluster();
+    for (name, ds) in datasets() {
+        let u = ds.domain().u();
+        let truth = ds.exact_frequency_array();
+        let k_full = (u * u) as usize;
+        let result = SendCoef2d::new().build(&ds, &cluster, k_full);
+        let compiled = CompiledHistogram2D::compile(&result.histogram);
+        let (est, sse) = estimate_grid(&compiled, &truth, u);
+        assert!(sse <= 1e-6, "{name}: full-retention SSE {sse}");
+        for (idx, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!(
+                (e - t as f64).abs() <= 1e-6,
+                "{name} cell {idx}: {e} vs {t}"
+            );
+        }
+    }
+}
+
+/// Batched rectangle serving is bit-identical to one-at-a-time serving,
+/// including scratch reuse across batches and across different compiled
+/// histograms.
+#[test]
+fn batched_rectangles_bit_identical_to_single() {
+    let cluster = ClusterConfig::paper_cluster();
+    let mut scratch = BatchScratch2D::new();
+    for (name, ds) in datasets() {
+        let u = ds.domain().u();
+        let n = ds.num_records();
+        let hist = SendCoef2d::new().build(&ds, &cluster, K).histogram;
+        let compiled = CompiledHistogram2D::compile(&hist);
+        let queries = random_rects(u, 500, 0x7777);
+        let mut sums = vec![0.0; queries.len()];
+        compiled.rectangle_sum_batch_into(&queries, &mut scratch, &mut sums);
+        let mut sels = vec![0.0; queries.len()];
+        compiled.selectivity_batch_into(&queries, n, &mut scratch, &mut sels);
+        for (&q, (&sum, &sel)) in queries.iter().zip(sums.iter().zip(&sels)) {
+            assert_eq!(
+                sum.to_bits(),
+                compiled.rectangle_sum(q).to_bits(),
+                "{name} {q:?}"
+            );
+            assert_eq!(
+                sel.to_bits(),
+                compiled.selectivity(q, n).to_bits(),
+                "{name} {q:?}"
+            );
+        }
+    }
+}
+
+/// Epoch-swapped serving through the tier is bit-identical to direct
+/// compiled serving — before and after a republish, including from
+/// concurrent reader threads — and 2-D entries ride the same generation
+/// counter as 1-D entries.
+#[test]
+fn tier_serving_bit_identical_to_direct() {
+    let cluster = ClusterConfig::paper_cluster();
+    let ds = zipf2d();
+    let u = ds.domain().u();
+    let n = ds.num_records();
+    let coarse = CompiledHistogram2D::compile(&SendCoef2d::new().build(&ds, &cluster, 8).histogram);
+    let fine = CompiledHistogram2D::compile(&SendCoef2d::new().build(&ds, &cluster, K).histogram);
+
+    let tier = ServeTier::new(4);
+    let gen = tier.publish2d(9, &coarse, n);
+    assert_eq!(gen, 1);
+    let queries = random_rects(u, 200, 0x51);
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| {
+                let mut h = tier.handle();
+                let mut out = vec![0.0; queries.len()];
+                h.try_rectangle_sum_batch_into(9, &queries, &mut out)
+                    .unwrap();
+                for (&q, &got) in queries.iter().zip(&out) {
+                    assert_eq!(got.to_bits(), coarse.rectangle_sum(q).to_bits(), "{q:?}");
+                }
+                h.try_rectangle_selectivity_batch_into(9, &queries, &mut out)
+                    .unwrap();
+                for (&q, &got) in queries.iter().zip(&out) {
+                    assert_eq!(got.to_bits(), coarse.selectivity(q, n).to_bits(), "{q:?}");
+                }
+            });
+        }
+    });
+
+    // Republish under a live handle: answers swap atomically.
+    let mut h = tier.handle();
+    let before = h.try_rectangle_sum(9, (0, u - 1, 0, u - 1)).unwrap();
+    assert_eq!(
+        before.to_bits(),
+        coarse.rectangle_sum((0, u - 1, 0, u - 1)).to_bits()
+    );
+    tier.publish2d(9, &fine, n);
+    let after = h.try_rectangle_sum(9, (0, u - 1, 0, u - 1)).unwrap();
+    assert_eq!(
+        after.to_bits(),
+        fine.rectangle_sum((0, u - 1, 0, u - 1)).to_bits()
+    );
+    assert_eq!(
+        h.try_point_estimate2d(9, 3, 7).unwrap().to_bits(),
+        fine.point_estimate(3, 7).to_bits()
+    );
+
+    // Unknown datasets and malformed traffic are error values.
+    assert_eq!(
+        h.try_rectangle_sum(8, (0, 1, 0, 1)),
+        Err(ServeError::UnknownDataset(8))
+    );
+    assert!(h.try_rectangle_sum(9, (0, 1, 0, u)).is_err());
+    assert_eq!(tier.remove2d(9), Some(3));
+    assert_eq!(
+        h.try_rectangle_sum(9, (0, 1, 0, 1)),
+        Err(ServeError::UnknownDataset(9))
+    );
+}
